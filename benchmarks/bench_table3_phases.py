@@ -1,0 +1,56 @@
+"""Table 3: accumulated execution time per Symantec workload phase.
+
+Paper shape: the comparators spend considerable time loading the CSV and JSON
+batches before they can answer a single query, the federated approach
+additionally pays a middleware cost, Q39 is an outlier for the RDBMS approach
+(its optimizer is blind to the JSON join key and picks a nested-loop plan),
+and Proteus — which loads nothing and adapts its storage while executing — has
+the lowest total by a multiple.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.reporting import format_phase_table
+
+SYSTEMS = (experiments.POSTGRES, experiments.FEDERATED, experiments.PROTEUS)
+PHASES = ("Load CSV", "Load JSON", "Middleware", "Q39", "Queries (Rest)")
+
+
+@pytest.fixture(scope="module")
+def results(symantec_results, report_sink):
+    breakdown = symantec_results.phase_breakdown()
+    totals = symantec_results.totals()
+    report_sink.append(
+        format_phase_table(
+            "Table 3: execution time per Symantec workload phase (seconds)",
+            list(SYSTEMS), list(PHASES), breakdown, totals,
+        )
+    )
+    return symantec_results
+
+
+def test_table3_shape(benchmark, results):
+    breakdown = results.phase_breakdown()
+    totals = results.totals()
+
+    # The comparators pay a load cost; Proteus does not.
+    assert breakdown.get((experiments.POSTGRES, "Load CSV"), 0.0) > 0
+    assert breakdown.get((experiments.POSTGRES, "Load JSON"), 0.0) > 0
+    assert breakdown.get((experiments.PROTEUS, "Load CSV"), 0.0) == 0.0
+    assert breakdown.get((experiments.PROTEUS, "Load JSON"), 0.0) == 0.0
+    # Only the federated approach has a middleware component.
+    assert breakdown.get((experiments.FEDERATED, "Middleware"), 0.0) > 0
+    assert breakdown.get((experiments.PROTEUS, "Middleware"), 0.0) == 0.0
+    # Q39 is disproportionately expensive for the RDBMS approach (nested-loop
+    # join because the JSON join key is opaque to its optimizer).
+    postgres_q39 = breakdown.get((experiments.POSTGRES, "Q39"), 0.0)
+    proteus_q39 = breakdown.get((experiments.PROTEUS, "Q39"), 0.0)
+    assert postgres_q39 > proteus_q39 * 3
+    # Aggregate totals: Proteus is the fastest approach end to end.
+    assert totals[experiments.PROTEUS] < totals[experiments.FEDERATED]
+    assert totals[experiments.PROTEUS] < totals[experiments.POSTGRES]
+
+    # Give pytest-benchmark something meaningful to time: the totals
+    # computation over the collected measurements (cheap bookkeeping).
+    benchmark(results.totals)

@@ -1,0 +1,71 @@
+"""Shared helpers for the per-figure benchmark modules."""
+
+from __future__ import annotations
+
+from repro.bench import data as bench_data
+from repro.bench.experiments import PROTEUS
+from repro.bench.reporting import ExperimentReport, format_matrix
+from repro.bench.systems import ProteusAdapter
+from repro.workloads import tpch
+from repro.workloads.query_spec import QuerySpec
+
+
+def record_report(report_sink, report: ExperimentReport, systems) -> None:
+    """Render a figure-style matrix and add it to the session summary."""
+    queries = sorted({measurement.query for measurement in report.measurements})
+    report_sink.append(format_matrix(report, queries, list(systems)))
+
+
+def assert_no_mismatches(report: ExperimentReport) -> None:
+    assert not report.notes, f"cross-system result mismatches: {report.notes}"
+
+
+def proteus_faster_than(
+    report: ExperimentReport, *slower_systems: str, margin: float = 1.0
+) -> None:
+    """Assert the aggregate comparative shape: Proteus beats each given system.
+
+    ``margin`` < 1 tolerates small timing noise for systems whose totals are
+    close to Proteus' (the assertion then is "not meaningfully faster than
+    Proteus" rather than strictly slower).
+    """
+    proteus_total = report.total_seconds(PROTEUS)
+    for system in slower_systems:
+        total = report.total_seconds(system)
+        assert total > proteus_total * margin, (
+            f"expected {system} ({total:.4f}s) to be slower than proteus "
+            f"({proteus_total:.4f}s, margin {margin})"
+        )
+
+
+def proteus_json_adapter(scale: float, datasets: dict[str, str],
+                         enable_caching: bool = False) -> ProteusAdapter:
+    """A warm Proteus adapter over the JSON materializations of a TPC-H instance."""
+    files = bench_data.tpch_files(scale=scale)
+    adapter = ProteusAdapter(enable_caching=enable_caching)
+    paths = {
+        "lineitem": (files.lineitem_json, tpch.LINEITEM_SCHEMA),
+        "orders": (files.orders_json, tpch.ORDERS_SCHEMA),
+        "orders_denorm": (files.orders_denormalized_json, tpch.DENORMALIZED_ORDERS_SCHEMA),
+    }
+    for name in datasets:
+        path, schema = paths[name]
+        adapter.attach_json(name, path, schema=schema)
+        adapter.warm_up(name)
+    return adapter
+
+
+def proteus_binary_adapter(scale: float, with_orders: bool = False) -> ProteusAdapter:
+    """A Proteus adapter over the binary-column materializations."""
+    files = bench_data.tpch_files(scale=scale)
+    adapter = ProteusAdapter()
+    adapter.attach_binary_columns("lineitem", files.lineitem_columns)
+    if with_orders:
+        adapter.attach_binary_columns("orders", files.orders_columns)
+    return adapter
+
+
+def run_hot(adapter: ProteusAdapter, spec: QuerySpec):
+    """Callable handed to pytest-benchmark: one hot execution of the query."""
+    adapter.execute(spec)  # warm the compiled-query cache once
+    return lambda: adapter.execute(spec)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Spam-analysis walkthrough: the paper's real-world use case (§7.2) in miniature.
+
+A synthetic Symantec-like feed is generated — a JSON spam-trap batch, a CSV
+classification output and a pre-existing binary table — and analysed three
+ways, mirroring the paper's comparison:
+
+* a PostgreSQL-like RDBMS extended with JSON support (load everything first),
+* a federation of a column store (flat data) and a document store (JSON)
+  behind a middleware layer,
+* Proteus, querying the raw files in place with adaptive caching enabled.
+
+The script runs a representative slice of the 50-query workload on all three
+and prints the per-phase time accounting of Table 3.
+
+Run it with::
+
+    python examples/spam_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.baselines import FederatedEngine, PostgresLikeEngine
+from repro.bench.systems import BaselineAdapter, ProteusAdapter
+from repro.workloads import symantec
+
+
+def main() -> None:
+    directory = tempfile.mkdtemp(prefix="proteus_spam_")
+    print("Generating a synthetic spam-analysis feed (JSON + CSV + binary)...")
+    files = symantec.materialize(directory, num_json=600, num_csv=2500, num_binary=3000)
+    workload = symantec.symantec_workload(files)
+    # A representative slice: two queries from each phase of Figure 14.
+    selected = [q for q in workload if q.index in
+                (1, 4, 9, 13, 16, 23, 26, 30, 31, 33, 36, 39, 41, 45)]
+
+    proteus = ProteusAdapter(enable_caching=True)
+    postgres = BaselineAdapter(PostgresLikeEngine())
+    federated = BaselineAdapter(FederatedEngine())
+
+    print("Attaching datasets (the comparators load; Proteus only registers):")
+    for adapter in (proteus, postgres, federated):
+        adapter.attach_binary_columns("mail_log", files.binary_dir)
+    for adapter in (postgres, federated):
+        adapter.attach_csv("classification", files.csv_path)
+        adapter.attach_json("spam_mails", files.json_path)
+    proteus.attach_csv("classification", files.csv_path,
+                       schema=symantec.CLASSIFICATION_CSV_SCHEMA)
+    proteus.attach_json("spam_mails", files.json_path,
+                        schema=symantec.SPAM_JSON_SCHEMA)
+    for adapter in (proteus, postgres, federated):
+        print(f"  {adapter.name:<26} load time {adapter.load_seconds:8.3f} s")
+
+    print(f"\nRunning {len(selected)} queries of the workload on each approach:")
+    header = f"  {'query':<6}{'phase':<12}{'proteus':>12}{'postgres':>12}{'federated':>12}"
+    print(header)
+    totals = {adapter.name: 0.0 for adapter in (proteus, postgres, federated)}
+    for query in selected:
+        row = [f"  Q{query.index:<5}{query.phase:<12}"]
+        reference = None
+        for adapter in (proteus, postgres, federated):
+            measurement = adapter.run(query.spec)
+            totals[adapter.name] += measurement.seconds
+            row.append(f"{measurement.seconds * 1000:>10.2f}ms")
+            if reference is None:
+                reference = measurement.result
+        print("".join(row))
+
+    print("\nAccumulated time (queries only):")
+    for name, seconds in totals.items():
+        print(f"  {name:<26} {seconds:8.3f} s")
+    print("\nAccumulated time including loading (Table 3 style):")
+    for adapter in (proteus, postgres, federated):
+        total = totals[adapter.name] + adapter.load_seconds
+        print(f"  {adapter.name:<26} {total:8.3f} s")
+
+    speedup = (totals[postgres.name] + postgres.load_seconds) / (
+        totals[proteus.name] + proteus.load_seconds
+    )
+    print(f"\nProteus is {speedup:.1f}x faster than the RDBMS-with-JSON approach "
+          "on this slice (loading included).")
+    print(f"Adaptive caches built along the way: {len(proteus.engine.cache_entries())}")
+
+
+if __name__ == "__main__":
+    main()

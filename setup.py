@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file exists
+so that fully offline environments (no ``wheel`` package available for PEP 660
+editable installs) can still do ``pip install -e . --no-build-isolation`` or
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of Proteus (VLDB 2016).
+
+"Fast Queries Over Heterogeneous Data Through Engine Customization"
+(Karpathiotakis, Alagiannis, Ailamaki).  The package provides:
+
+* :class:`repro.ProteusEngine` — the query engine: register raw CSV, JSON and
+  relational binary datasets and query them (SQL or comprehension syntax)
+  through a per-query specialized execution engine with adaptive caching,
+* ``repro.baselines`` — simulated comparator systems (row stores, column
+  stores, a document store and a federated combination) used by the
+  reproduced experiments,
+* ``repro.workloads`` — deterministic TPC-H-derived and Symantec-like
+  workload generators,
+* ``repro.bench`` — the harness that regenerates every figure and table of the
+  paper's evaluation.
+"""
+
+from repro.core.engine import ProteusEngine, QueryResult
+from repro.errors import ProteusError
+
+__version__ = "1.0.0"
+
+__all__ = ["ProteusEngine", "QueryResult", "ProteusError", "__version__"]

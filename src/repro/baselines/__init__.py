@@ -1,0 +1,31 @@
+"""Simulated comparator systems.
+
+The paper evaluates Proteus against PostgreSQL, a commercial row store
+("DBMS X"), MonetDB, a commercial column store ("DBMS C"), MongoDB, and a
+federation of DBMS C + MongoDB behind a middleware layer.  Those systems
+cannot be shipped here; instead, each module in this package implements an
+engine with the *architectural properties the paper attributes the performance
+differences to* — per-tuple interpretation, JSON-as-BLOB storage, load-before-
+query, operator-at-a-time materialization, sort-based data skipping, lack of
+native joins — so that the reproduced experiments exhibit the same comparative
+shape.
+"""
+
+from repro.baselines.common import BaselineEngine, LoadReport
+from repro.baselines.rowstore import PostgresLikeEngine
+from repro.baselines.rowstore_x import DbmsXLikeEngine
+from repro.baselines.columnstore import MonetLikeEngine
+from repro.baselines.columnstore_c import DbmsCLikeEngine
+from repro.baselines.docstore import MongoLikeEngine
+from repro.baselines.federated import FederatedEngine
+
+__all__ = [
+    "BaselineEngine",
+    "LoadReport",
+    "PostgresLikeEngine",
+    "DbmsXLikeEngine",
+    "MonetLikeEngine",
+    "DbmsCLikeEngine",
+    "MongoLikeEngine",
+    "FederatedEngine",
+]

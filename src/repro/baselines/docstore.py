@@ -1,0 +1,83 @@
+"""MongoDB-like document store (comparator "MongoDB" of §7).
+
+Architectural properties reproduced:
+
+* data is loaded into a binary per-document serialization (the BSON analogue:
+  documents are decoded once and stored whole),
+* the engine is specialized for scanning documents and unnesting embedded
+  arrays, so single-collection filters, counts and unnests are competitive,
+* the aggregation machinery is interpreted per document and per expression,
+  so queries computing several aggregates fall behind the relational engines
+  (Figure 5),
+* there is **no first-class join support**: cross-collection joins are
+  emulated map-reduce style as nested loops over materialized documents, which
+  is why MongoDB is only reported for the first join query in the paper,
+* only JSON collections can be loaded; relational inputs are out of scope for
+  the document store (the federated engine pairs it with a column store).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+from repro.baselines.common import LoadReport, RowEngineBase
+from repro.errors import ExecutionError, UnsupportedFeatureError
+
+
+class MongoLikeEngine(RowEngineBase):
+    """Document store: great at per-document scans, no native joins."""
+
+    name = "mongo_like"
+    # Joins over documents are never hash joins: the engine has no join
+    # operator, so the emulation is a nested loop.
+    hash_join_on_document_fields = False
+    sideways_information_passing = False
+    #: Per-document interpretation of the aggregation pipeline is heavier than
+    #: a relational row pipeline.
+    per_tuple_overhead = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._collections: dict[str, list[dict]] = {}
+
+    # -- loading --------------------------------------------------------------------
+
+    def load_json(self, name: str, path: str) -> LoadReport:
+        started = time.perf_counter()
+        documents = self.read_json_objects(path)
+        self._collections[name] = documents
+        self._document_tables.add(name)
+        report = LoadReport(name, time.perf_counter() - started, len(documents))
+        self.load_reports.append(report)
+        return report
+
+    def load_csv(self, name: str, path: str) -> LoadReport:
+        raise UnsupportedFeatureError(
+            "the document store only ingests JSON collections; pair it with a "
+            "relational engine (see repro.baselines.federated) for CSV data"
+        )
+
+    def load_columns(self, name: str, columns: dict[str, Iterable]) -> LoadReport:
+        raise UnsupportedFeatureError(
+            "the document store only ingests JSON collections"
+        )
+
+    # -- row access hooks ----------------------------------------------------------------
+
+    def table_rows(self, dataset: str) -> Iterable[Any]:
+        try:
+            return self._collections[dataset]
+        except KeyError as exc:
+            raise ExecutionError(f"collection {dataset!r} has not been loaded") from exc
+
+    def row_value(self, dataset: str, row: Any, path: tuple[str, ...]) -> Any:
+        value: Any = row
+        for step in path:
+            if value is None:
+                return None
+            if isinstance(value, dict):
+                value = value.get(step)
+            else:
+                return None
+        return value

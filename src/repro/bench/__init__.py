@@ -1,0 +1,1 @@
+"""Benchmark harness: system adapters, data materialization, experiment drivers and reporting."""

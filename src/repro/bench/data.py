@@ -1,0 +1,90 @@
+"""Benchmark data materialization with on-disk caching.
+
+Generating and writing the TPC-H and Symantec instances dominates benchmark
+start-up, so materialized instances are cached in a temporary directory keyed
+by their generation parameters and reused across benchmark processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.workloads import symantec, tpch
+
+_CACHE_MARKER = "_repro_bench_ready.json"
+
+
+def _cache_root() -> str:
+    root = os.environ.get("REPRO_BENCH_DATA_DIR")
+    if root:
+        return root
+    return os.path.join(tempfile.gettempdir(), "proteus_repro_bench_data")
+
+
+def _is_ready(directory: str, params: dict) -> bool:
+    marker = os.path.join(directory, _CACHE_MARKER)
+    if not os.path.exists(marker):
+        return False
+    try:
+        with open(marker, "r", encoding="utf-8") as handle:
+            return json.load(handle) == params
+    except (OSError, json.JSONDecodeError):
+        return False
+
+
+def _mark_ready(directory: str, params: dict) -> None:
+    with open(os.path.join(directory, _CACHE_MARKER), "w", encoding="utf-8") as handle:
+        json.dump(params, handle)
+
+
+def tpch_files(scale: float = 0.5, seed: int = 42) -> tpch.TpchFiles:
+    """Materialize (or reuse) a TPC-H instance at the given scale."""
+    directory = os.path.join(_cache_root(), f"tpch_scale{scale}_seed{seed}")
+    params = {"scale": scale, "seed": seed}
+    os.makedirs(directory, exist_ok=True)
+    if not _is_ready(directory, params):
+        files = tpch.materialize(directory, scale=scale, seed=seed)
+        _mark_ready(directory, params)
+        return files
+    # Re-derive the in-memory tables (cheap) and reuse the files on disk.
+    tables = tpch.generate(scale=scale, seed=seed)
+    return tpch.TpchFiles(
+        lineitem_csv=os.path.join(directory, "lineitem.csv"),
+        orders_csv=os.path.join(directory, "orders.csv"),
+        lineitem_json=os.path.join(directory, "lineitem.json"),
+        orders_json=os.path.join(directory, "orders.json"),
+        orders_denormalized_json=os.path.join(directory, "orders_denorm.json"),
+        lineitem_columns=os.path.join(directory, "lineitem_columns"),
+        orders_columns=os.path.join(directory, "orders_columns"),
+        tables=tables,
+    )
+
+
+def symantec_files(
+    num_json: int = 1_500,
+    num_csv: int = 6_000,
+    num_binary: int = 8_000,
+    seed: int = 1234,
+) -> symantec.SymantecFiles:
+    """Materialize (or reuse) a Symantec-like instance."""
+    directory = os.path.join(
+        _cache_root(), f"symantec_j{num_json}_c{num_csv}_b{num_binary}_s{seed}"
+    )
+    params = {"json": num_json, "csv": num_csv, "bin": num_binary, "seed": seed}
+    os.makedirs(directory, exist_ok=True)
+    if not _is_ready(directory, params):
+        files = symantec.materialize(
+            directory, num_json=num_json, num_csv=num_csv, num_binary=num_binary, seed=seed
+        )
+        _mark_ready(directory, params)
+        return files
+    return symantec.SymantecFiles(
+        json_path=os.path.join(directory, "spam_mails.json"),
+        csv_path=os.path.join(directory, "classification.csv"),
+        binary_dir=os.path.join(directory, "mail_log_columns"),
+        num_json=num_json,
+        num_csv=num_csv,
+        num_binary=num_binary,
+    )

@@ -1,0 +1,229 @@
+"""Caching manager (§6).
+
+The caching manager owns the binary caches that the engine materializes as a
+side effect of query execution.  Each entry records the plan-fragment key that
+produced it, the source dataset and format (which drives the eviction bias),
+its size (accounted against the memory manager's cache arena) and an LRU
+timestamp.
+
+Eviction is a *format-biased* LRU: when the arena is full, the entry with the
+lowest ``bias / recency`` score is dropped first, so caches over JSON survive
+longer than caches over CSV, which survive longer than caches over binary
+data (``JSON ≻ CSV ≻ Binary``), mirroring the paper's policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.caching.policies import CachingPolicy, DefaultCachingPolicy
+from repro.errors import CacheError
+from repro.storage.memory import CacheArena
+
+
+@dataclass
+class CacheEntry:
+    """One materialized cache."""
+
+    key: tuple
+    kind: str
+    dataset: str
+    source_format: str
+    data: Any
+    size_bytes: int
+    bias: float
+    description: str = ""
+    last_used: int = 0
+    hits: int = 0
+
+    def touch(self, clock: int) -> None:
+        self.last_used = clock
+        self.hits += 1
+
+
+@dataclass
+class CacheStatistics:
+    """Aggregate counters exposed for benchmarks and tests."""
+
+    lookups: int = 0
+    hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+    rejected: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CacheManager:
+    """Registry, admission control and eviction for adaptive caches."""
+
+    def __init__(
+        self,
+        arena: CacheArena,
+        policy: CachingPolicy | None = None,
+    ):
+        self.arena = arena
+        self.policy = policy if policy is not None else DefaultCachingPolicy()
+        self.stats = CacheStatistics()
+        self._entries: dict[tuple, CacheEntry] = {}
+        self._clock = 0
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, key: tuple) -> CacheEntry | None:
+        """Return the entry for ``key`` (updating its recency) or ``None``."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._clock += 1
+        entry.touch(self._clock)
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, key: tuple) -> CacheEntry | None:
+        """Return the entry for ``key`` without touching statistics."""
+        return self._entries.get(key)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    # -- admission ---------------------------------------------------------------
+
+    def store(
+        self,
+        key: tuple,
+        data: Any,
+        *,
+        kind: str,
+        dataset: str,
+        source_format: str,
+        description: str = "",
+        size_bytes: int | None = None,
+    ) -> CacheEntry | None:
+        """Admit a new cache entry, evicting lower-value entries if needed.
+
+        Returns the entry, or ``None`` when the entry cannot fit even after
+        evicting everything cheaper (it is then simply not cached — caching is
+        best-effort and never fails a query).
+        """
+        if key in self._entries:
+            entry = self._entries[key]
+            self._clock += 1
+            entry.touch(self._clock)
+            return entry
+        size = size_bytes if size_bytes is not None else estimate_size(data)
+        bias = self.policy.format_bias(source_format)
+        if size > self.arena.budget_bytes:
+            self.stats.rejected += 1
+            return None
+        self._make_room(size, bias)
+        if not self.arena.can_fit(size):
+            self.stats.rejected += 1
+            return None
+        self.arena.register(_arena_name(key), size)
+        self._clock += 1
+        entry = CacheEntry(
+            key=key,
+            kind=kind,
+            dataset=dataset,
+            source_format=source_format,
+            data=data,
+            size_bytes=size,
+            bias=bias,
+            description=description,
+            last_used=self._clock,
+        )
+        self._entries[key] = entry
+        self.stats.stores += 1
+        return entry
+
+    def _make_room(self, size: int, incoming_bias: float) -> None:
+        """Evict entries (cheapest-to-rebuild, least-recently-used first) until
+        ``size`` bytes fit or nothing evictable remains."""
+        while not self.arena.can_fit(size):
+            victim = self._pick_victim(incoming_bias)
+            if victim is None:
+                return
+            self.evict(victim.key)
+
+    def _pick_victim(self, incoming_bias: float) -> CacheEntry | None:
+        candidates = list(self._entries.values())
+        if not candidates:
+            return None
+        # Format-biased LRU: score = bias * recency rank; lowest score goes.
+        ordered = sorted(candidates, key=lambda e: (e.bias, e.last_used))
+        victim = ordered[0]
+        return victim
+
+    # -- eviction / invalidation ----------------------------------------------------
+
+    def evict(self, key: tuple) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self.arena.unregister(_arena_name(key))
+        self.stats.evictions += 1
+
+    def invalidate_dataset(self, dataset: str) -> int:
+        """Drop every cache built from ``dataset`` (used on data updates, §4:
+        Proteus drops and rebuilds affected auxiliary structures)."""
+        keys = [key for key, entry in self._entries.items() if entry.dataset == dataset]
+        for key in keys:
+            self.evict(key)
+        return len(keys)
+
+    def clear(self) -> None:
+        for key in list(self._entries):
+            self.evict(key)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries.values())
+
+    def entries_for_dataset(self, dataset: str) -> list[CacheEntry]:
+        return [entry for entry in self._entries.values() if entry.dataset == dataset]
+
+    @property
+    def used_bytes(self) -> int:
+        return self.arena.used_bytes
+
+    def total_size_for_format(self, source_format: str) -> int:
+        return sum(
+            entry.size_bytes
+            for entry in self._entries.values()
+            if entry.source_format == source_format
+        )
+
+
+def estimate_size(data: Any) -> int:
+    """Estimate the in-memory footprint of cached data."""
+    if isinstance(data, np.ndarray):
+        if data.dtype == object:
+            return int(sum(len(str(v)) + 48 for v in data))
+        return int(data.nbytes)
+    if isinstance(data, dict):
+        return sum(estimate_size(value) for value in data.values()) + 64 * len(data)
+    if isinstance(data, (list, tuple)):
+        return sum(estimate_size(value) for value in data) + 16 * len(data)
+    if isinstance(data, (bytes, str)):
+        return len(data)
+    if hasattr(data, "nbytes"):
+        return int(data.nbytes)
+    if hasattr(data, "size_bytes"):
+        return int(data.size_bytes)
+    return 64
+
+
+def _arena_name(key: tuple) -> str:
+    return "cache:" + repr(key)

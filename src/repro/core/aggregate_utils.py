@@ -1,0 +1,60 @@
+"""Helpers for evaluating output columns that mix aggregates and arithmetic.
+
+An output column such as ``sum(l.extendedprice) / count(*)`` contains
+aggregate calls nested inside ordinary expressions.  Both executors evaluate
+the aggregates first (per group, or globally) and then substitute the results
+back into the column expression before evaluating the remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.expressions import (
+    AggregateCall,
+    BinaryOp,
+    Expression,
+    IfThenElse,
+    Literal,
+    RecordConstruct,
+    UnaryOp,
+)
+
+
+def replace_aggregates(
+    expression: Expression, results: Mapping[tuple, Expression]
+) -> Expression:
+    """Replace each aggregate call with the expression holding its result.
+
+    ``results`` maps aggregate fingerprints to replacement expressions
+    (usually literals holding the computed value).
+    """
+    if isinstance(expression, AggregateCall):
+        replacement = results.get(expression.fingerprint())
+        if replacement is None:
+            raise KeyError(f"no result for aggregate {expression!r}")
+        return replacement
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.op,
+            replace_aggregates(expression.left, results),
+            replace_aggregates(expression.right, results),
+        )
+    if isinstance(expression, UnaryOp):
+        return UnaryOp(expression.op, replace_aggregates(expression.operand, results))
+    if isinstance(expression, IfThenElse):
+        return IfThenElse(
+            replace_aggregates(expression.condition, results),
+            replace_aggregates(expression.then, results),
+            replace_aggregates(expression.otherwise, results),
+        )
+    if isinstance(expression, RecordConstruct):
+        return RecordConstruct(
+            [(name, replace_aggregates(expr, results)) for name, expr in expression.fields]
+        )
+    return expression
+
+
+def literal_results(values: Mapping[tuple, object]) -> dict[tuple, Expression]:
+    """Wrap computed aggregate values as literal expressions."""
+    return {fingerprint: Literal(value) for fingerprint, value in values.items()}

@@ -1,0 +1,7 @@
+"""Per-query code generation: the engine-per-query mechanism of the paper."""
+
+from repro.core.codegen.compiler import GeneratedQuery, compile_query
+from repro.core.codegen.generator import CodeGenerator
+from repro.core.codegen.runtime import QueryRuntime
+
+__all__ = ["CodeGenerator", "GeneratedQuery", "QueryRuntime", "compile_query"]

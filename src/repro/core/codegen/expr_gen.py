@@ -1,0 +1,98 @@
+"""Expression generators (§5.2, "Expression Generation").
+
+An expression generator turns an algebraic expression into a fragment of the
+generated program.  The operators that request it are agnostic to where the
+referenced values live: the generator resolves every field reference against
+the *virtual buffer* table — the mapping from ``(binding, path)`` to the
+NumPy buffer variable the corresponding plug-in populated — and emits a
+vectorized NumPy expression over those buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.expressions import (
+    AggregateCall,
+    BinaryOp,
+    Expression,
+    FieldRef,
+    IfThenElse,
+    Literal,
+    RecordConstruct,
+    UnaryOp,
+)
+from repro.errors import CodegenError
+
+BufferMap = Mapping[tuple[str, tuple[str, ...]], str]
+
+_COMPARISON_TRANSLATION = {
+    "=": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+_ARITHMETIC = ("+", "-", "*", "/", "%")
+
+
+def generate_expression(expression: Expression, buffers: BufferMap) -> str:
+    """Return a Python/NumPy source expression evaluating ``expression`` over
+    the virtual buffers."""
+    if isinstance(expression, Literal):
+        return repr(expression.value)
+    if isinstance(expression, FieldRef):
+        key = (expression.binding, tuple(expression.path))
+        variable = buffers.get(key)
+        if variable is None:
+            raise CodegenError(
+                f"no buffer holds {expression!r}; available buffers: "
+                f"{sorted(buffers)}"
+            )
+        return variable
+    if isinstance(expression, BinaryOp):
+        left = generate_expression(expression.left, buffers)
+        right = generate_expression(expression.right, buffers)
+        if expression.op in _ARITHMETIC:
+            return f"({left} {expression.op} {right})"
+        if expression.op in _COMPARISON_TRANSLATION:
+            return f"({left} {_COMPARISON_TRANSLATION[expression.op]} {right})"
+        if expression.op == "and":
+            return f"(({left}) & ({right}))"
+        if expression.op == "or":
+            return f"(({left}) | ({right}))"
+        raise CodegenError(f"unsupported binary operator {expression.op!r}")
+    if isinstance(expression, UnaryOp):
+        operand = generate_expression(expression.operand, buffers)
+        if expression.op == "-":
+            return f"(-({operand}))"
+        return f"(~np.asarray({operand}, dtype=bool))"
+    if isinstance(expression, IfThenElse):
+        condition = generate_expression(expression.condition, buffers)
+        then = generate_expression(expression.then, buffers)
+        otherwise = generate_expression(expression.otherwise, buffers)
+        return f"np.where({condition}, {then}, {otherwise})"
+    if isinstance(expression, AggregateCall):
+        raise CodegenError(
+            "aggregate calls are handled by the Reduce/Nest generators, not by "
+            "the expression generator"
+        )
+    if isinstance(expression, RecordConstruct):
+        raise CodegenError(
+            "record construction in output columns is served by the Volcano "
+            "executor fallback"
+        )
+    raise CodegenError(f"cannot generate code for expression {expression!r}")
+
+
+def supported_by_codegen(expression: Expression) -> bool:
+    """Whether the vectorized generator can evaluate ``expression``."""
+    if isinstance(expression, (Literal, FieldRef)):
+        return True
+    if isinstance(expression, (BinaryOp, UnaryOp, IfThenElse)):
+        return all(supported_by_codegen(child) for child in expression.children())
+    if isinstance(expression, AggregateCall):
+        return expression.argument is None or supported_by_codegen(expression.argument)
+    return False

@@ -1,0 +1,273 @@
+"""Runtime support library for generated queries.
+
+The paper keeps two kinds of logic out of the generated code: pre-existing
+helpers (radix join/grouping, the memory and caching managers) and anything
+that is cheaper to call than to inline.  The generated Python program receives
+one :class:`QueryRuntime` instance (``rt``) and calls into it for:
+
+* ``scan`` / ``unnest`` — plug-in data access, transparently served from the
+  adaptive caches when the caching manager holds the requested columns and
+  populated as a side effect otherwise (§6),
+* ``radix_join`` / ``radix_group`` / aggregates — the materializing kernels,
+  with join build sides reusable across queries through partial cache matches,
+* bookkeeping counters used by the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.caching.manager import CacheManager
+from repro.caching.matching import field_cache_key, join_side_cache_key, unnest_cache_key
+from repro.core.executor import radix
+from repro.errors import ExecutionError
+from repro.plugins.base import FieldPath, InputPlugin, ScanBuffers, UnnestBuffers
+from repro.storage.catalog import Catalog, Dataset
+
+
+@dataclass
+class ExecutionProfile:
+    """Counters describing one query execution (proxies for the paper's
+    hardware-counter discussion)."""
+
+    rows_scanned: int = 0
+    values_extracted: int = 0
+    values_from_cache: int = 0
+    join_build_rows: int = 0
+    join_output_rows: int = 0
+    groups_built: int = 0
+    output_rows: int = 0
+    used_generated_code: bool = True
+
+    def merge(self, other: "ExecutionProfile") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.values_extracted += other.values_extracted
+        self.values_from_cache += other.values_from_cache
+        self.join_build_rows += other.join_build_rows
+        self.join_output_rows += other.join_output_rows
+        self.groups_built += other.groups_built
+        self.output_rows += other.output_rows
+
+
+class QueryRuntime:
+    """Everything a generated query program needs at run time."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        plugins: Mapping[str, InputPlugin],
+        cache_manager: CacheManager | None = None,
+    ):
+        self.catalog = catalog
+        self.plugins = plugins
+        self.cache_manager = cache_manager
+        self.profile = ExecutionProfile()
+
+    # -- data access ---------------------------------------------------------------
+
+    def scan(
+        self, plugin: InputPlugin, dataset: Dataset, paths: Sequence[FieldPath]
+    ) -> ScanBuffers:
+        """Materialize the requested columns, using and feeding the caches."""
+        paths = [tuple(path) for path in paths]
+        manager = self.cache_manager
+        if manager is None or plugin.format_name == "cache":
+            buffers = plugin.scan_columns(dataset, paths)
+            self.profile.rows_scanned += buffers.count
+            self.profile.values_extracted += buffers.count * len(paths)
+            return buffers
+
+        cached: dict[FieldPath, np.ndarray] = {}
+        missing: list[FieldPath] = []
+        for path in paths:
+            entry = manager.lookup(field_cache_key(dataset.name, path))
+            if entry is not None:
+                cached[path] = entry.data
+            else:
+                missing.append(path)
+
+        if missing or not paths:
+            fresh = plugin.scan_columns(dataset, missing)
+            self.profile.rows_scanned += fresh.count
+            self.profile.values_extracted += fresh.count * len(missing)
+            count = fresh.count
+            oids = fresh.oids
+            for path in missing:
+                column = fresh.column(path)
+                cached[path] = column
+                type_name = _column_type_name(column)
+                if manager.policy.should_cache_field(plugin.format_name, type_name):
+                    manager.store(
+                        field_cache_key(dataset.name, path),
+                        column,
+                        kind="field",
+                        dataset=dataset.name,
+                        source_format=plugin.format_name,
+                        description=f"{dataset.name}.{'.'.join(path)}",
+                    )
+        else:
+            count = len(next(iter(cached.values()))) if cached else 0
+            oids = np.arange(count, dtype=np.int64)
+            self.profile.values_from_cache += count * len(cached)
+
+        buffers = ScanBuffers(count=count, oids=oids)
+        buffers.columns.update(cached)
+        return buffers
+
+    def scan_selected(
+        self,
+        plugin: InputPlugin,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        oids: np.ndarray,
+    ) -> ScanBuffers:
+        """Lazy field materialization: convert fields only for qualifying OIDs.
+
+        Used by the generated code when a selective predicate has already run
+        over (cached or cheaply-extracted) columns, so the remaining fields are
+        converted only for the survivors (§5.2, lazy plug-in behaviour).
+        Cached columns are still preferred; selective extractions are not
+        admitted to the cache (they do not cover the full dataset).
+        """
+        paths = [tuple(path) for path in paths]
+        oids = np.asarray(oids, dtype=np.int64)
+        manager = self.cache_manager
+        cached: dict[FieldPath, np.ndarray] = {}
+        missing: list[FieldPath] = []
+        for path in paths:
+            entry = (
+                manager.lookup(field_cache_key(dataset.name, path))
+                if manager is not None and plugin.format_name != "cache"
+                else None
+            )
+            if entry is not None:
+                cached[path] = entry.data[oids]
+                self.profile.values_from_cache += len(oids)
+            else:
+                missing.append(path)
+        buffers = ScanBuffers(count=len(oids), oids=oids)
+        buffers.columns.update(cached)
+        if missing:
+            fresh = plugin.scan_columns_at(dataset, missing, oids)
+            self.profile.values_extracted += len(oids) * len(missing)
+            for path in missing:
+                buffers.columns[path] = fresh.column(path)
+        return buffers
+
+    def unnest(
+        self,
+        plugin: InputPlugin,
+        dataset: Dataset,
+        collection_path: FieldPath,
+        element_paths: Sequence[FieldPath],
+        parent_oids: np.ndarray,
+        full_scan: bool = False,
+    ) -> UnnestBuffers:
+        """Flatten a nested collection, caching the result for full scans."""
+        collection_path = tuple(collection_path)
+        element_paths = [tuple(path) for path in element_paths]
+        manager = self.cache_manager
+        key = unnest_cache_key(dataset.name, collection_path, element_paths)
+        if manager is not None and full_scan:
+            entry = manager.lookup(key)
+            if entry is not None:
+                buffers = entry.data
+                self.profile.values_from_cache += buffers.count * max(len(element_paths), 1)
+                return buffers
+        buffers = plugin.scan_unnest(
+            dataset, collection_path, element_paths, None if full_scan else parent_oids
+        )
+        self.profile.rows_scanned += buffers.count
+        self.profile.values_extracted += buffers.count * max(len(element_paths), 1)
+        if manager is not None and full_scan and \
+                manager.policy.cache_unnest_output and \
+                manager.policy.should_cache_field(plugin.format_name, "float"):
+            manager.store(
+                key,
+                buffers,
+                kind="unnest",
+                dataset=dataset.name,
+                source_format=plugin.format_name,
+                description=f"unnest {dataset.name}.{'.'.join(collection_path)}",
+            )
+        return buffers
+
+    # -- join / grouping kernels ------------------------------------------------------
+
+    def radix_join(
+        self,
+        left_keys: np.ndarray,
+        right_keys: np.ndarray,
+        build_cache_key: tuple | None = None,
+        source_format: str = "binary_column",
+        dataset: str = "",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Radix hash join; the build side may be served from / added to the cache."""
+        table = None
+        manager = self.cache_manager
+        if manager is not None and build_cache_key is not None:
+            entry = manager.lookup(("join_side",) + tuple(build_cache_key))
+            if entry is not None:
+                table = entry.data
+        if table is None or table.build_size != len(left_keys):
+            table = radix.build_radix_table(np.asarray(left_keys))
+            self.profile.join_build_rows += len(left_keys)
+            if manager is not None and build_cache_key is not None and \
+                    manager.policy.should_cache_join_side({source_format}):
+                manager.store(
+                    ("join_side",) + tuple(build_cache_key),
+                    table,
+                    kind="join_side",
+                    dataset=dataset,
+                    source_format=source_format,
+                    description="radix join build side",
+                )
+        left_positions, right_positions = radix.probe_radix_table(
+            table, np.asarray(right_keys)
+        )
+        self.profile.join_output_rows += len(left_positions)
+        return left_positions, right_positions
+
+    def cross_product(self, left_count: int, right_count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Index pairs of a cartesian product (nested-loop join fallback)."""
+        left = np.repeat(np.arange(left_count, dtype=np.int64), right_count)
+        right = np.tile(np.arange(right_count, dtype=np.int64), left_count)
+        return left, right
+
+    def radix_group(self, key_arrays: Sequence[np.ndarray]) -> radix.GroupingResult:
+        result = radix.radix_group([np.asarray(keys) for keys in key_arrays])
+        self.profile.groups_built += result.num_groups
+        return result
+
+    def group_agg(
+        self,
+        func: str,
+        group_ids: np.ndarray,
+        num_groups: int,
+        values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return radix.group_aggregate(func, group_ids, num_groups, values)
+
+    def scalar_agg(self, func: str, values: np.ndarray | None, count: int):
+        return radix.scalar_aggregate(func, values, count)
+
+    # -- misc ----------------------------------------------------------------------------
+
+    def record_output(self, count: int) -> None:
+        self.profile.output_rows += int(count)
+
+    def join_cache_key(self, side_fingerprint: tuple, key_fingerprint: tuple) -> tuple:
+        return join_side_cache_key(side_fingerprint, key_fingerprint)
+
+
+def _column_type_name(column: np.ndarray) -> str:
+    if column.dtype == object:
+        return "string"
+    if column.dtype.kind == "b":
+        return "bool"
+    if column.dtype.kind in "iu":
+        return "int"
+    return "float"

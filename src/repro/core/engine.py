@@ -1,0 +1,409 @@
+"""Public engine API.
+
+:class:`ProteusEngine` is the user-facing entry point of the reproduction.  It
+owns the catalog, the input plug-ins, the memory and caching managers, the
+optimizer and both executors, and wires them together exactly as Figure 2 of
+the paper describes:
+
+1. the query parser (SQL or comprehension syntax) produces a calculus
+   expression, which the binder resolves against the catalog,
+2. the normalizer and translator rewrite it into the nested relational
+   algebra, which the optimizer lowers to a physical plan (selection/
+   projection pushdown, join ordering, access-path selection against the
+   caches),
+3. the code generator collapses the plan into one specialized program, which
+   runs against the query runtime (falling back to the Volcano interpreter for
+   shapes the generator does not cover, or when code generation is disabled
+   for ablation),
+4. caches are populated as a side effect and reused by later queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.caching.manager import CacheManager
+from repro.caching.policies import CachingPolicy, DefaultCachingPolicy, NoCachingPolicy
+from repro.core import types as t
+from repro.core.binder import bind_comprehension
+from repro.core.calculus import Comprehension
+from repro.core.codegen.generator import CodeGenerator
+from repro.core.codegen.runtime import ExecutionProfile, QueryRuntime
+from repro.core.comprehension_parser import parse_comprehension
+from repro.core.executor.volcano import VolcanoExecutor
+from repro.core.normalizer import normalize
+from repro.core.optimizer.planner import Planner
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.physical import PhysNest, PhysReduce, PhysicalPlan
+from repro.core.sql_parser import parse_sql
+from repro.core.translator import translate
+from repro.errors import CodegenError, ExecutionError, ProteusError
+from repro.plugins.base import InputPlugin
+from repro.plugins.binary_col_plugin import BinaryColumnPlugin
+from repro.plugins.binary_row_plugin import BinaryRowPlugin
+from repro.plugins.cache_plugin import CachePlugin
+from repro.plugins.csv_plugin import CsvPlugin
+from repro.plugins.json_plugin import JsonPlugin
+from repro.storage.catalog import Catalog, DataFormat, Dataset
+from repro.storage.memory import MemoryManager
+
+
+@dataclass
+class QueryResult:
+    """The result of a query: named columns and materialized rows."""
+
+    columns: list[str]
+    rows: list[tuple]
+    execution_seconds: float = 0.0
+    used_codegen: bool = True
+    profile: ExecutionProfile | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        """Values of one output column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError as exc:
+            raise ExecutionError(
+                f"result has no column {name!r}; columns: {self.columns}"
+            ) from exc
+        return [row[index] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """The result as a list of dicts (one per row)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class ProteusEngine:
+    """An analytical query engine over heterogeneous raw data."""
+
+    def __init__(
+        self,
+        cache_budget_bytes: int = 256 * 1024 * 1024,
+        enable_caching: bool = True,
+        enable_codegen: bool = True,
+        enable_join_reordering: bool = True,
+        caching_policy: CachingPolicy | None = None,
+    ):
+        self.memory = MemoryManager(cache_budget_bytes=cache_budget_bytes)
+        self.catalog = Catalog()
+        self.enable_codegen = enable_codegen
+        self.enable_caching = enable_caching
+        policy = caching_policy
+        if policy is None:
+            policy = DefaultCachingPolicy() if enable_caching else NoCachingPolicy()
+        self.cache_manager: CacheManager | None = (
+            CacheManager(self.memory.arena, policy) if enable_caching else None
+        )
+        self.plugins: dict[str, InputPlugin] = {
+            DataFormat.CSV: CsvPlugin(self.memory),
+            DataFormat.JSON: JsonPlugin(self.memory),
+            DataFormat.BINARY_ROW: BinaryRowPlugin(self.memory),
+            DataFormat.BINARY_COLUMN: BinaryColumnPlugin(self.memory),
+        }
+        self.cache_plugin: CachePlugin | None = (
+            CachePlugin(self.memory, self.cache_manager)
+            if self.cache_manager is not None
+            else None
+        )
+        if self.cache_plugin is not None:
+            self.plugins[DataFormat.CACHE] = self.cache_plugin
+        self.statistics = StatisticsManager(self.catalog)
+        self.planner = Planner(
+            self.catalog,
+            self.statistics,
+            cache_plugin=self.cache_plugin,
+            enable_join_reordering=enable_join_reordering,
+        )
+        self.generator = CodeGenerator(self.catalog, self.plugins, self.cache_plugin)
+        self._compiled: dict[tuple, Any] = {}
+        self._parsed: dict[str, Comprehension] = {}
+        #: Introspection of the most recent query.
+        self.last_plan: PhysicalPlan | None = None
+        self.last_generated_source: str | None = None
+        self.last_profile: ExecutionProfile | None = None
+
+    # ------------------------------------------------------------------------
+    # Dataset registration
+    # ------------------------------------------------------------------------
+
+    def register_csv(
+        self,
+        name: str,
+        path: str,
+        schema: t.RecordType | Mapping | None = None,
+        delimiter: str = ",",
+        has_header: bool = True,
+        stride: int = 5,
+        analyze: bool = False,
+    ) -> Dataset:
+        """Register a raw CSV file as a queryable dataset."""
+        options = {"delimiter": delimiter, "has_header": has_header, "stride": stride}
+        return self._register(name, DataFormat.CSV, path, schema, options, analyze)
+
+    def register_json(
+        self,
+        name: str,
+        path: str,
+        schema: t.RecordType | Mapping | None = None,
+        sample_size: int = 50,
+        analyze: bool = False,
+    ) -> Dataset:
+        """Register a raw JSON object stream as a queryable dataset."""
+        options = {"sample_size": sample_size}
+        return self._register(name, DataFormat.JSON, path, schema, options, analyze)
+
+    def register_binary_columns(
+        self, name: str, directory: str, analyze: bool = True
+    ) -> Dataset:
+        """Register a binary column table (directory of column files)."""
+        return self._register(name, DataFormat.BINARY_COLUMN, directory, None, {}, analyze)
+
+    def register_binary_rows(self, name: str, path: str, analyze: bool = True) -> Dataset:
+        """Register a binary row table."""
+        return self._register(name, DataFormat.BINARY_ROW, path, None, {}, analyze)
+
+    def _register(
+        self,
+        name: str,
+        data_format: str,
+        path: str,
+        schema: t.RecordType | Mapping | None,
+        options: dict,
+        analyze: bool,
+    ) -> Dataset:
+        plugin = self.plugins[data_format]
+        if schema is not None and not isinstance(schema, t.RecordType):
+            schema = t.make_schema(schema)
+        dataset = Dataset(name=name, format=data_format, path=path,
+                          schema=schema, options=options)  # type: ignore[arg-type]
+        if schema is None:
+            dataset.schema = plugin.infer_schema(dataset)
+        self.catalog.register(dataset)
+        if analyze:
+            self.analyze(name)
+        self._parsed.clear()
+        return dataset
+
+    def unregister(self, name: str) -> None:
+        """Remove a dataset, its plug-in state and any caches built from it."""
+        if name not in self.catalog:
+            return
+        dataset = self.catalog.get(name)
+        plugin = self.plugins.get(dataset.format)
+        if plugin is not None and hasattr(plugin, "invalidate"):
+            plugin.invalidate(name)
+        if self.cache_manager is not None:
+            self.cache_manager.invalidate_dataset(name)
+        self.catalog.unregister(name)
+        self._compiled.clear()
+        self._parsed.clear()
+
+    def analyze(self, name: str) -> None:
+        """Collect statistics for a dataset (cardinality, min/max per field)."""
+        dataset = self.catalog.get(name)
+        plugin = self.plugins[dataset.format]
+        self.catalog.set_statistics(name, plugin.collect_statistics(dataset))
+
+    # ------------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------------
+
+    def query(self, text: str | Comprehension) -> QueryResult:
+        """Parse, optimize, specialize and execute a query."""
+        comprehension = self._to_comprehension(text)
+        physical = self._plan(comprehension)
+        return self._execute(physical, comprehension)
+
+    def sql(self, text: str) -> QueryResult:
+        """Execute a SQL statement."""
+        return self.query(text)
+
+    def explain(self, text: str | Comprehension) -> str:
+        """Return the physical plan (and generated code, if any) of a query."""
+        comprehension = self._to_comprehension(text)
+        physical = self._plan(comprehension)
+        parts = ["== physical plan ==", physical.pretty()]
+        if self.enable_codegen:
+            try:
+                generated = self.generator.generate(physical)
+                parts.extend(["", "== generated code ==", generated.source])
+            except CodegenError as exc:
+                parts.extend(["", f"(code generation unavailable: {exc}; "
+                                  "Volcano interpreter would be used)"])
+        return "\n".join(parts)
+
+    # -- pipeline stages -------------------------------------------------------
+
+    def _to_comprehension(self, text: str | Comprehension) -> Comprehension:
+        if isinstance(text, Comprehension):
+            comprehension = text
+        else:
+            stripped = text.strip()
+            cached = self._parsed.get(stripped)
+            if cached is not None:
+                return cached
+            if stripped.lower().startswith("select"):
+                comprehension = parse_sql(stripped)
+            elif stripped.lower().startswith("for"):
+                comprehension = parse_comprehension(stripped)
+            else:
+                raise ProteusError(
+                    "queries must start with SELECT (SQL) or FOR (comprehension syntax)"
+                )
+            bound = normalize(bind_comprehension(comprehension, self.catalog.element_types()))
+            self._parsed[stripped] = bound
+            return bound
+        return normalize(bind_comprehension(comprehension, self.catalog.element_types()))
+
+    def _plan(self, comprehension: Comprehension) -> PhysicalPlan:
+        logical = translate(comprehension)
+        physical = self.planner.plan(logical)
+        self.last_plan = physical
+        return physical
+
+    def _execute(
+        self, physical: PhysicalPlan, comprehension: Comprehension
+    ) -> QueryResult:
+        started = time.perf_counter()
+        used_codegen = False
+        profile: ExecutionProfile
+        if self.enable_codegen:
+            try:
+                names, columns, profile = self._execute_generated(physical)
+                used_codegen = True
+            except CodegenError:
+                names, columns, profile = self._execute_volcano(physical)
+        else:
+            names, columns, profile = self._execute_volcano(physical)
+        rows = _columns_to_rows(names, columns)
+        rows = _apply_order_and_limit(names, rows, comprehension)
+        elapsed = time.perf_counter() - started
+        self.last_profile = profile
+        return QueryResult(
+            columns=names,
+            rows=rows,
+            execution_seconds=elapsed,
+            used_codegen=used_codegen,
+            profile=profile,
+        )
+
+    def _execute_generated(
+        self, physical: PhysicalPlan
+    ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
+        fingerprint = physical.fingerprint()
+        generated = self._compiled.get(fingerprint)
+        if generated is None:
+            generated = self.generator.generate(physical)
+            self._compiled[fingerprint] = generated
+        self.last_generated_source = generated.source
+        runtime = QueryRuntime(self.catalog, self.plugins, self.cache_manager)
+        output = generated(runtime)
+        names = _output_names(physical)
+        runtime.profile.used_generated_code = True
+        return names, output, runtime.profile
+
+    def _execute_volcano(
+        self, physical: PhysicalPlan
+    ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
+        executor = VolcanoExecutor(self.catalog, self.plugins)
+        names, columns = executor.execute(physical)
+        profile = ExecutionProfile(used_generated_code=False)
+        profile.rows_scanned = executor.tuples_processed
+        self.last_generated_source = None
+        return names, columns, profile
+
+    # ------------------------------------------------------------------------
+    # Caching control and introspection
+    # ------------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        if self.cache_manager is not None:
+            self.cache_manager.clear()
+
+    def cache_entries(self) -> list:
+        return self.cache_manager.entries() if self.cache_manager is not None else []
+
+    @property
+    def cache_stats(self):
+        return self.cache_manager.stats if self.cache_manager is not None else None
+
+    def structural_index_info(self, name: str) -> dict:
+        """Structural-index metadata of a CSV or JSON dataset."""
+        dataset = self.catalog.get(name)
+        plugin = self.plugins[dataset.format]
+        if not hasattr(plugin, "index_info"):
+            raise ProteusError(f"dataset {name!r} has no structural index")
+        return plugin.index_info(dataset)
+
+
+# ---------------------------------------------------------------------------
+# Result assembly helpers
+# ---------------------------------------------------------------------------
+
+
+def _output_names(physical: PhysicalPlan) -> list[str]:
+    if isinstance(physical, (PhysReduce, PhysNest)):
+        return [column.name for column in physical.columns]
+    raise ExecutionError("plan root must be Reduce or Nest")
+
+
+def _columns_to_rows(names: Sequence[str], columns: Mapping[str, Any]) -> list[tuple]:
+    values: list[list] = []
+    length = 0
+    for name in names:
+        column = columns.get(name)
+        if isinstance(column, np.ndarray):
+            column = column.tolist()
+        elif isinstance(column, np.generic):
+            column = [column.item()]
+        elif isinstance(column, (int, float, bool, str)) or column is None:
+            column = [column]
+        values.append(list(column))
+        length = max(length, len(column))
+    normalized = []
+    for column in values:
+        if len(column) == 1 and length > 1:
+            column = column * length
+        normalized.append(column)
+    rows = [tuple(_python_value(column[i]) for column in normalized) for i in range(length)]
+    return rows
+
+
+def _apply_order_and_limit(
+    names: Sequence[str], rows: list[tuple], comprehension: Comprehension
+) -> list[tuple]:
+    if comprehension.order_by:
+        for column, ascending in reversed(comprehension.order_by):
+            if column not in names:
+                continue
+            index = list(names).index(column)
+            rows = sorted(rows, key=lambda row: (row[index] is None, row[index]),
+                          reverse=not ascending)
+    if comprehension.limit is not None:
+        rows = rows[: comprehension.limit]
+    return rows
+
+
+def _python_value(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

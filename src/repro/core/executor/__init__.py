@@ -1,0 +1,1 @@
+"""Execution back-ends: radix join/grouping kernels and the Volcano interpreter."""

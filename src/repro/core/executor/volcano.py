@@ -1,0 +1,283 @@
+"""Volcano-style interpreted executor.
+
+This executor evaluates physical plans tuple-at-a-time through the classic
+iterator model the paper identifies as the source of interpretation overhead
+(§5): every operator exposes a ``__iter__`` that pulls one environment (a dict
+of bindings) at a time from its child, and every expression is re-interpreted
+per tuple.
+
+It exists for two reasons:
+
+* it is the *ablation baseline* for the engine-per-query claim — running the
+  same physical plan through the Volcano interpreter and through the generated
+  code isolates the benefit of code generation,
+* it is the execution substrate of the simulated comparator systems in
+  :mod:`repro.baselines`, which are, architecturally, static interpreted
+  engines.
+
+It also doubles as the fallback executor for query shapes the vectorized code
+generator does not cover (e.g. record construction in output columns).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.core.aggregate_utils import literal_results, replace_aggregates
+from repro.core.expressions import (
+    AggregateCall,
+    Expression,
+    OutputColumn,
+    contains_aggregate,
+    iter_aggregates,
+)
+from repro.core.physical import (
+    PhysHashJoin,
+    PhysNest,
+    PhysNestedLoopJoin,
+    PhysReduce,
+    PhysScan,
+    PhysSelect,
+    PhysUnnest,
+    PhysicalPlan,
+)
+from repro.errors import ExecutionError
+from repro.plugins.base import InputPlugin
+from repro.storage.catalog import Catalog
+
+
+class VolcanoExecutor:
+    """Interpreted executor over physical plans."""
+
+    def __init__(self, catalog: Catalog, plugins: Mapping[str, InputPlugin]):
+        self.catalog = catalog
+        self.plugins = plugins
+        #: Proxy counters: tuples pulled through operators and predicate
+        #: evaluations, used by the experiment reports as interpretation-
+        #: overhead proxies.
+        self.tuples_processed = 0
+        self.predicate_evaluations = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, plan: PhysicalPlan) -> tuple[list[str], dict[str, list]]:
+        """Execute a plan; returns (column names, column values)."""
+        if isinstance(plan, PhysReduce):
+            return self._execute_reduce(plan)
+        if isinstance(plan, PhysNest):
+            return self._execute_nest(plan)
+        raise ExecutionError(
+            f"the plan root must be Reduce or Nest, got {plan.describe()}"
+        )
+
+    # -- pipelines ----------------------------------------------------------------
+
+    def _iterate(self, plan: PhysicalPlan) -> Iterator[dict[str, Any]]:
+        if isinstance(plan, PhysScan):
+            yield from self._iterate_scan(plan)
+        elif isinstance(plan, PhysSelect):
+            predicate = plan.predicate
+            for env in self._iterate(plan.child):
+                self.predicate_evaluations += 1
+                if predicate.evaluate(env):
+                    yield env
+        elif isinstance(plan, PhysUnnest):
+            yield from self._iterate_unnest(plan)
+        elif isinstance(plan, PhysHashJoin):
+            yield from self._iterate_hash_join(plan)
+        elif isinstance(plan, PhysNestedLoopJoin):
+            yield from self._iterate_nested_loop(plan)
+        else:
+            raise ExecutionError(f"cannot interpret operator {plan.describe()}")
+
+    def _iterate_scan(self, plan: PhysScan) -> Iterator[dict[str, Any]]:
+        dataset = self.catalog.get(plan.dataset)
+        plugin = self.plugins.get(dataset.format)
+        if plugin is None:
+            raise ExecutionError(f"no plug-in registered for format {dataset.format!r}")
+        # The general-purpose engine eagerly materializes whole records.
+        for record in plugin.iterate_rows(dataset, None):
+            self.tuples_processed += 1
+            yield {plan.binding: record}
+
+    def _iterate_unnest(self, plan: PhysUnnest) -> Iterator[dict[str, Any]]:
+        for env in self._iterate(plan.child):
+            parent = env.get(plan.binding)
+            elements = _dig(parent, plan.path)
+            if elements is None:
+                elements = []
+            if not isinstance(elements, (list, tuple)):
+                raise ExecutionError(
+                    f"field {'.'.join(plan.path)!r} of {plan.binding!r} is not a collection"
+                )
+            matched = False
+            for element in elements:
+                child_env = dict(env)
+                child_env[plan.var] = element
+                if plan.predicate is not None:
+                    self.predicate_evaluations += 1
+                    if not plan.predicate.evaluate(child_env):
+                        continue
+                matched = True
+                self.tuples_processed += 1
+                yield child_env
+            if plan.outer and not matched:
+                child_env = dict(env)
+                child_env[plan.var] = None
+                yield child_env
+
+    def _iterate_hash_join(self, plan: PhysHashJoin) -> Iterator[dict[str, Any]]:
+        build: dict[Any, list[dict[str, Any]]] = defaultdict(list)
+        for env in self._iterate(plan.left):
+            build[plan.left_key.evaluate(env)].append(env)
+        for env in self._iterate(plan.right):
+            key = plan.right_key.evaluate(env)
+            matches = build.get(key, [])
+            matched = False
+            for left_env in matches:
+                combined = {**left_env, **env}
+                if plan.residual is not None:
+                    self.predicate_evaluations += 1
+                    if not plan.residual.evaluate(combined):
+                        continue
+                matched = True
+                self.tuples_processed += 1
+                yield combined
+            if plan.outer and not matched:
+                yield {**{b: None for b in plan.left.bindings()}, **env}
+
+    def _iterate_nested_loop(self, plan: PhysNestedLoopJoin) -> Iterator[dict[str, Any]]:
+        left_envs = list(self._iterate(plan.left))
+        for right_env in self._iterate(plan.right):
+            for left_env in left_envs:
+                combined = {**left_env, **right_env}
+                if plan.predicate is not None:
+                    self.predicate_evaluations += 1
+                    if not plan.predicate.evaluate(combined):
+                        continue
+                self.tuples_processed += 1
+                yield combined
+
+    # -- roots ---------------------------------------------------------------------
+
+    def _execute_reduce(self, plan: PhysReduce) -> tuple[list[str], dict[str, list]]:
+        names = [column.name for column in plan.columns]
+        aggregated = any(contains_aggregate(column.expression) for column in plan.columns)
+        if not aggregated:
+            columns: dict[str, list] = {name: [] for name in names}
+            for env in self._iterate(plan.child):
+                for column in plan.columns:
+                    columns[column.name].append(column.expression.evaluate(env))
+            return names, columns
+        accumulators = _AggregateAccumulators(plan.columns)
+        for env in self._iterate(plan.child):
+            accumulators.update(env)
+        values = accumulators.finalize()
+        columns = {}
+        for column in plan.columns:
+            final = replace_aggregates(column.expression, literal_results(values))
+            columns[column.name] = [final.evaluate({})]
+        return names, columns
+
+    def _execute_nest(self, plan: PhysNest) -> tuple[list[str], dict[str, list]]:
+        names = [column.name for column in plan.columns]
+        groups: dict[tuple, _AggregateAccumulators] = {}
+        group_envs: dict[tuple, dict[str, Any]] = {}
+        for env in self._iterate(plan.child):
+            key = tuple(expression.evaluate(env) for expression in plan.group_by)
+            if key not in groups:
+                groups[key] = _AggregateAccumulators(plan.columns)
+                group_envs[key] = env
+            groups[key].update(env)
+        columns: dict[str, list] = {name: [] for name in names}
+        for key, accumulators in groups.items():
+            values = accumulators.finalize()
+            env = group_envs[key]
+            for column in plan.columns:
+                if contains_aggregate(column.expression):
+                    final = replace_aggregates(column.expression, literal_results(values))
+                    columns[column.name].append(final.evaluate({}))
+                else:
+                    columns[column.name].append(column.expression.evaluate(env))
+        return names, columns
+
+
+class _AggregateAccumulators:
+    """Running aggregates for one group (or for the global reduction)."""
+
+    def __init__(self, columns: list[OutputColumn]):
+        self.aggregates: list[AggregateCall] = []
+        seen: set[tuple] = set()
+        for column in columns:
+            for aggregate in iter_aggregates(column.expression):
+                fingerprint = aggregate.fingerprint()
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    self.aggregates.append(aggregate)
+        self.count = 0
+        self.sums: dict[tuple, float] = defaultdict(float)
+        self.mins: dict[tuple, Any] = {}
+        self.maxs: dict[tuple, Any] = {}
+        self.bools_and: dict[tuple, bool] = defaultdict(lambda: True)
+        self.bools_or: dict[tuple, bool] = defaultdict(lambda: False)
+        self.counts: dict[tuple, int] = defaultdict(int)
+
+    def update(self, env: dict[str, Any]) -> None:
+        self.count += 1
+        for aggregate in self.aggregates:
+            fingerprint = aggregate.fingerprint()
+            if aggregate.func == "count" and aggregate.argument is None:
+                continue
+            value = aggregate.argument.evaluate(env) if aggregate.argument is not None else None
+            if value is None:
+                continue
+            self.counts[fingerprint] += 1
+            if aggregate.func in ("sum", "avg"):
+                self.sums[fingerprint] += value
+            elif aggregate.func == "max":
+                current = self.maxs.get(fingerprint)
+                self.maxs[fingerprint] = value if current is None else max(current, value)
+            elif aggregate.func == "min":
+                current = self.mins.get(fingerprint)
+                self.mins[fingerprint] = value if current is None else min(current, value)
+            elif aggregate.func == "and":
+                self.bools_and[fingerprint] = self.bools_and[fingerprint] and bool(value)
+            elif aggregate.func == "or":
+                self.bools_or[fingerprint] = self.bools_or[fingerprint] or bool(value)
+
+    def finalize(self) -> dict[tuple, Any]:
+        results: dict[tuple, Any] = {}
+        for aggregate in self.aggregates:
+            fingerprint = aggregate.fingerprint()
+            if aggregate.func == "count":
+                results[fingerprint] = (
+                    self.count if aggregate.argument is None else self.counts[fingerprint]
+                )
+            elif aggregate.func == "sum":
+                results[fingerprint] = self.sums[fingerprint]
+            elif aggregate.func == "avg":
+                count = self.counts[fingerprint]
+                results[fingerprint] = self.sums[fingerprint] / count if count else float("nan")
+            elif aggregate.func == "max":
+                results[fingerprint] = self.maxs.get(fingerprint)
+            elif aggregate.func == "min":
+                results[fingerprint] = self.mins.get(fingerprint)
+            elif aggregate.func == "and":
+                results[fingerprint] = self.bools_and[fingerprint]
+            elif aggregate.func == "or":
+                results[fingerprint] = self.bools_or[fingerprint]
+        return results
+
+
+def _dig(value: Any, path: tuple[str, ...]) -> Any:
+    for step in path:
+        if value is None:
+            return None
+        if isinstance(value, Mapping):
+            value = value.get(step)
+        else:
+            value = getattr(value, step, None)
+    return value

@@ -1,0 +1,118 @@
+"""Calculus normalization.
+
+Before a comprehension is translated to the algebra, Proteus normalizes it
+(§4, "Query Optimization"): predicates are split into conjuncts and pushed as
+early as possible (selection pushdown at the calculus level), constants are
+folded, and trivially true filters are dropped.  The result is an equivalent
+comprehension whose qualifier order already reflects where each filter can be
+evaluated, which the translator then maps onto Select/Join/Unnest operators.
+"""
+
+from __future__ import annotations
+
+from repro.core.calculus import Comprehension, Filter, Generator, Qualifier, split_filters
+from repro.core.expressions import (
+    BinaryOp,
+    Expression,
+    FieldRef,
+    IfThenElse,
+    Literal,
+    UnaryOp,
+)
+
+
+def normalize(comprehension: Comprehension) -> Comprehension:
+    """Return an equivalent, normalized comprehension."""
+    qualifiers = split_filters(comprehension.qualifiers)
+    qualifiers = [_normalize_qualifier(q) for q in qualifiers]
+    qualifiers = [q for q in qualifiers if not _is_trivially_true(q)]
+    qualifiers = _push_filters_early(qualifiers)
+    normalized = Comprehension(
+        monoid=comprehension.monoid,
+        head=list(comprehension.head),
+        qualifiers=qualifiers,
+        group_by=list(comprehension.group_by),
+        order_by=list(comprehension.order_by),
+        limit=comprehension.limit,
+    )
+    normalized.validate()
+    return normalized
+
+
+def _normalize_qualifier(qualifier: Qualifier) -> Qualifier:
+    if isinstance(qualifier, Filter):
+        return Filter(fold_constants(qualifier.predicate))
+    return qualifier
+
+
+def _is_trivially_true(qualifier: Qualifier) -> bool:
+    return (
+        isinstance(qualifier, Filter)
+        and isinstance(qualifier.predicate, Literal)
+        and qualifier.predicate.value is True
+    )
+
+
+def _push_filters_early(qualifiers: list[Qualifier]) -> list[Qualifier]:
+    """Place each filter immediately after the last generator it depends on.
+
+    Generators keep their relative order (it matters for path generators);
+    filters that depend on no generator float to the front.
+    """
+    generators = [q for q in qualifiers if isinstance(q, Generator)]
+    filters = [q for q in qualifiers if isinstance(q, Filter)]
+
+    # For each filter, find the index (in generator order) after which all of
+    # its referenced bindings are available.
+    generator_index = {g.var: i for i, g in enumerate(generators)}
+    placed: dict[int, list[Filter]] = {i: [] for i in range(-1, len(generators))}
+    for filt in filters:
+        refs = filt.predicate.bindings()
+        if not refs:
+            placed[-1].append(filt)
+            continue
+        last = max(generator_index.get(ref, len(generators) - 1) for ref in refs)
+        placed[last].append(filt)
+
+    result: list[Qualifier] = list(placed[-1])
+    for index, generator in enumerate(generators):
+        result.append(generator)
+        result.extend(placed[index])
+    return result
+
+
+def fold_constants(expression: Expression) -> Expression:
+    """Fold constant sub-expressions (e.g. ``1 + 2`` becomes ``3``)."""
+    if isinstance(expression, BinaryOp):
+        left = fold_constants(expression.left)
+        right = fold_constants(expression.right)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            folded = BinaryOp(expression.op, left, right).evaluate({})
+            return Literal(folded)
+        # Boolean simplifications with one constant side.
+        if expression.op == "and":
+            if isinstance(left, Literal):
+                return right if left.value else Literal(False)
+            if isinstance(right, Literal):
+                return left if right.value else Literal(False)
+        if expression.op == "or":
+            if isinstance(left, Literal):
+                return Literal(True) if left.value else right
+            if isinstance(right, Literal):
+                return Literal(True) if right.value else left
+        return BinaryOp(expression.op, left, right)
+    if isinstance(expression, UnaryOp):
+        operand = fold_constants(expression.operand)
+        if isinstance(operand, Literal):
+            return Literal(UnaryOp(expression.op, operand).evaluate({}))
+        return UnaryOp(expression.op, operand)
+    if isinstance(expression, IfThenElse):
+        condition = fold_constants(expression.condition)
+        then = fold_constants(expression.then)
+        otherwise = fold_constants(expression.otherwise)
+        if isinstance(condition, Literal):
+            return then if condition.value else otherwise
+        return IfThenElse(condition, then, otherwise)
+    if isinstance(expression, FieldRef) or isinstance(expression, Literal):
+        return expression
+    return expression

@@ -1,0 +1,5 @@
+"""Query optimizer: rewrite rules, statistics, cost model, join ordering and physical planning."""
+
+from repro.core.optimizer.planner import Planner
+
+__all__ = ["Planner"]

@@ -1,0 +1,217 @@
+"""Physical planner.
+
+The planner turns an optimized logical plan into a physical plan:
+
+1. rule-based rewrites (selection pushdown, selection merging),
+2. cost-based join reordering over inner-join regions (greedy bottom-up,
+   driven by plug-in statistics),
+3. physical operator selection — radix hash join for equi-joins (build side =
+   smaller input), nested-loop join otherwise, radix grouping for Nest,
+4. projection pushdown into the scans (every scan lists exactly the field
+   paths the query needs) and access-path selection — a scan whose required
+   fields are all served by the caching manager is routed to the cache
+   plug-in instead of the raw file.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.algebra import (
+    Join,
+    LogicalPlan,
+    Nest,
+    Reduce,
+    Scan,
+    Select,
+    Unnest,
+)
+from repro.core.optimizer import rules
+from repro.core.optimizer.join_order import (
+    choose_build_side,
+    collect_join_region,
+    extract_equi_key,
+    order_joins,
+)
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.physical import (
+    PhysHashJoin,
+    PhysNest,
+    PhysNestedLoopJoin,
+    PhysReduce,
+    PhysScan,
+    PhysSelect,
+    PhysUnnest,
+    PhysicalPlan,
+)
+from repro.errors import PlanningError
+from repro.plugins.base import FieldPath
+from repro.plugins.cache_plugin import CachePlugin
+from repro.storage.catalog import Catalog
+
+
+class Planner:
+    """Lowers logical plans to physical plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: StatisticsManager,
+        cache_plugin: CachePlugin | None = None,
+        enable_join_reordering: bool = True,
+    ):
+        self.catalog = catalog
+        self.statistics = statistics
+        self.cache_plugin = cache_plugin
+        self.enable_join_reordering = enable_join_reordering
+
+    # -- entry point -------------------------------------------------------------
+
+    def plan(self, logical: LogicalPlan) -> PhysicalPlan:
+        logical = rules.pushdown_selections(logical)
+        binding_datasets = self.binding_datasets(logical)
+        if self.enable_join_reordering:
+            logical = self._reorder_joins(logical, binding_datasets)
+        required = rules.required_paths(logical)
+        self._unnested_bindings = {
+            node.binding for node in logical.walk() if isinstance(node, Unnest)
+        }
+        return self._convert(logical, required, binding_datasets)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def binding_datasets(self, logical: LogicalPlan) -> dict[str, str]:
+        """Map every binding to the dataset it (transitively) originates from."""
+        mapping: dict[str, str] = {}
+        for node in logical.walk():
+            if isinstance(node, Scan):
+                mapping[node.binding] = node.dataset
+        changed = True
+        while changed:
+            changed = False
+            for node in logical.walk():
+                if isinstance(node, Unnest) and node.var not in mapping:
+                    parent = mapping.get(node.binding)
+                    if parent is not None:
+                        mapping[node.var] = parent
+                        changed = True
+        return mapping
+
+    def _reorder_joins(
+        self, logical: LogicalPlan, binding_datasets: Mapping[str, str]
+    ) -> LogicalPlan:
+        if isinstance(logical, Join) and not logical.outer:
+            region = collect_join_region(logical)
+            if region is not None:
+                inputs, predicates = region
+                inputs = [self._reorder_joins(i, binding_datasets) for i in inputs]
+                return order_joins(inputs, predicates, self.statistics, binding_datasets)
+        if isinstance(logical, Select):
+            return Select(
+                logical.predicate, self._reorder_joins(logical.child, binding_datasets)
+            )
+        if isinstance(logical, Unnest):
+            return Unnest(
+                logical.binding,
+                logical.path,
+                logical.var,
+                self._reorder_joins(logical.child, binding_datasets),
+                logical.predicate,
+                logical.outer,
+            )
+        if isinstance(logical, Reduce):
+            return Reduce(
+                logical.monoid,
+                logical.columns,
+                self._reorder_joins(logical.child, binding_datasets),
+                logical.predicate,
+            )
+        if isinstance(logical, Nest):
+            return Nest(
+                logical.columns,
+                logical.group_by,
+                self._reorder_joins(logical.child, binding_datasets),
+                logical.predicate,
+            )
+        if isinstance(logical, Join):
+            return Join(
+                logical.predicate,
+                self._reorder_joins(logical.left, binding_datasets),
+                self._reorder_joins(logical.right, binding_datasets),
+                logical.outer,
+            )
+        return logical
+
+    # -- conversion ------------------------------------------------------------------
+
+    def _convert(
+        self,
+        node: LogicalPlan,
+        required: Mapping[str, set[FieldPath]],
+        binding_datasets: Mapping[str, str],
+    ) -> PhysicalPlan:
+        if isinstance(node, Scan):
+            return self._convert_scan(node, required)
+        if isinstance(node, Select):
+            return PhysSelect(
+                node.predicate, self._convert(node.child, required, binding_datasets)
+            )
+        if isinstance(node, Join):
+            return self._convert_join(node, required, binding_datasets)
+        if isinstance(node, Unnest):
+            element_paths = sorted(required.get(node.var, set()))
+            return PhysUnnest(
+                node.binding,
+                node.path,
+                node.var,
+                element_paths,
+                self._convert(node.child, required, binding_datasets),
+                node.predicate,
+                node.outer,
+            )
+        if isinstance(node, Reduce):
+            child = self._convert(node.child, required, binding_datasets)
+            if node.predicate is not None:
+                child = PhysSelect(node.predicate, child)
+            return PhysReduce(node.monoid, node.columns, child)
+        if isinstance(node, Nest):
+            child = self._convert(node.child, required, binding_datasets)
+            if node.predicate is not None:
+                child = PhysSelect(node.predicate, child)
+            return PhysNest(node.columns, node.group_by, child)
+        raise PlanningError(f"cannot lower logical operator {node.describe()}")
+
+    def _convert_scan(
+        self, node: Scan, required: Mapping[str, set[FieldPath]]
+    ) -> PhysScan:
+        paths = sorted(required.get(node.binding, set()))
+        access_path = "raw"
+        if (
+            self.cache_plugin is not None
+            and paths
+            and node.binding not in getattr(self, "_unnested_bindings", set())
+            and self.cache_plugin.can_serve(node.dataset, paths)
+        ):
+            access_path = "cache"
+        return PhysScan(node.dataset, node.binding, paths, access_path=access_path)
+
+    def _convert_join(
+        self,
+        node: Join,
+        required: Mapping[str, set[FieldPath]],
+        binding_datasets: Mapping[str, str],
+    ) -> PhysicalPlan:
+        left_logical, right_logical = node.left, node.right
+        left_key, right_key, residual = extract_equi_key(
+            node.predicate, left_logical.bindings(), right_logical.bindings()
+        )
+        left = self._convert(left_logical, required, binding_datasets)
+        right = self._convert(right_logical, required, binding_datasets)
+        if left_key is None or right_key is None:
+            return PhysNestedLoopJoin(node.predicate, left, right, node.outer)
+        left_rows = self.statistics.estimate_rows(left_logical, binding_datasets)
+        right_rows = self.statistics.estimate_rows(right_logical, binding_datasets)
+        if choose_build_side(left_rows, right_rows) and not node.outer:
+            left, right = right, left
+            left_key, right_key = right_key, left_key
+        return PhysHashJoin(left_key, right_key, left, right, residual, node.outer)

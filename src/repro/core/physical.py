@@ -1,0 +1,301 @@
+"""Physical query plans.
+
+The optimizer lowers the logical nested relational algebra into a physical
+plan whose operators carry everything needed for execution and for code
+generation:
+
+* scans know which field paths they must place into virtual buffers
+  (projection pushdown) and which plug-in/access path serves them,
+* joins are resolved to radix hash joins with explicit key expressions (plus
+  an optional residual predicate) or to nested-loop joins when no equi-join
+  key exists,
+* unnests know which element fields they must flatten,
+* the root is a Reduce (projection / global aggregation) or a Nest (grouping).
+
+Both executors consume this representation: the code generator collapses it
+into a single specialized program (§5.1), and the Volcano interpreter walks it
+operator-at-a-tuple (the "static general-purpose engine" the paper contrasts
+against).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.expressions import Expression, OutputColumn, to_string
+from repro.plugins.base import FieldPath
+
+
+class PhysicalPlan:
+    """Base class of physical operators."""
+
+    def children(self) -> tuple["PhysicalPlan", ...]:
+        return ()
+
+    def bindings(self) -> set[str]:
+        result: set[str] = set()
+        for child in self.children():
+            result |= child.bindings()
+        return result
+
+    def walk(self) -> Iterator["PhysicalPlan"]:
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+    def fingerprint(self) -> tuple:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = [("  " * indent) + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.pretty()
+
+
+class PhysScan(PhysicalPlan):
+    """Scan a dataset, materializing the requested field paths."""
+
+    def __init__(
+        self,
+        dataset: str,
+        binding: str,
+        paths: Sequence[FieldPath],
+        access_path: str = "raw",
+    ):
+        self.dataset = dataset
+        self.binding = binding
+        self.paths = [tuple(path) for path in paths]
+        #: "raw" (the dataset's own plug-in) or "cache" (fully served by caches).
+        self.access_path = access_path
+
+    def bindings(self) -> set[str]:
+        return {self.binding}
+
+    def fingerprint(self) -> tuple:
+        return ("scan", self.dataset, self.binding, tuple(self.paths))
+
+    def describe(self) -> str:
+        fields = ", ".join(".".join(path) for path in self.paths) or "<none>"
+        suffix = " [cache]" if self.access_path == "cache" else ""
+        return f"Scan({self.dataset} as {self.binding}: {fields}){suffix}"
+
+
+class PhysSelect(PhysicalPlan):
+    """Filter the child by a predicate."""
+
+    def __init__(self, predicate: Expression, child: PhysicalPlan):
+        self.predicate = predicate
+        self.child = child
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def fingerprint(self) -> tuple:
+        return ("select", self.predicate.fingerprint(), self.child.fingerprint())
+
+    def describe(self) -> str:
+        return f"Select({to_string(self.predicate)})"
+
+
+class PhysUnnest(PhysicalPlan):
+    """Unnest a nested collection field of ``binding`` into ``var``."""
+
+    def __init__(
+        self,
+        binding: str,
+        path: FieldPath,
+        var: str,
+        element_paths: Sequence[FieldPath],
+        child: PhysicalPlan,
+        predicate: Expression | None = None,
+        outer: bool = False,
+    ):
+        self.binding = binding
+        self.path = tuple(path)
+        self.var = var
+        self.element_paths = [tuple(p) for p in element_paths]
+        self.child = child
+        self.predicate = predicate
+        self.outer = outer
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def bindings(self) -> set[str]:
+        return self.child.bindings() | {self.var}
+
+    def fingerprint(self) -> tuple:
+        predicate = self.predicate.fingerprint() if self.predicate is not None else None
+        return (
+            "unnest",
+            self.binding,
+            self.path,
+            self.var,
+            tuple(self.element_paths),
+            predicate,
+            self.outer,
+            self.child.fingerprint(),
+        )
+
+    def describe(self) -> str:
+        name = "OuterUnnest" if self.outer else "Unnest"
+        fields = ", ".join(".".join(p) for p in self.element_paths) or "<value>"
+        return (
+            f"{name}({self.var} <- {self.binding}.{'.'.join(self.path)}: {fields})"
+        )
+
+
+class PhysHashJoin(PhysicalPlan):
+    """Radix hash join on equi-join keys, with an optional residual predicate.
+
+    The left side is the build side (materialized first), the right side is
+    probed; this mirrors the paper's radix hash join whose materialized sides
+    double as implicit caches.
+    """
+
+    def __init__(
+        self,
+        left_key: Expression,
+        right_key: Expression,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        residual: Expression | None = None,
+        outer: bool = False,
+    ):
+        self.left_key = left_key
+        self.right_key = right_key
+        self.left = left
+        self.right = right
+        self.residual = residual
+        self.outer = outer
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def fingerprint(self) -> tuple:
+        residual = self.residual.fingerprint() if self.residual is not None else None
+        return (
+            "hashjoin",
+            self.left_key.fingerprint(),
+            self.right_key.fingerprint(),
+            residual,
+            self.outer,
+            self.left.fingerprint(),
+            self.right.fingerprint(),
+        )
+
+    def describe(self) -> str:
+        name = "OuterHashJoin" if self.outer else "RadixHashJoin"
+        text = f"{name}({to_string(self.left_key)} = {to_string(self.right_key)})"
+        if self.residual is not None:
+            text += f" residual: {to_string(self.residual)}"
+        return text
+
+
+class PhysNestedLoopJoin(PhysicalPlan):
+    """Fallback join for non-equi predicates (and the behaviour an optimizer
+    blind to a data type falls back to, cf. the Q39 discussion in §7.2)."""
+
+    def __init__(
+        self,
+        predicate: Expression | None,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        outer: bool = False,
+    ):
+        self.predicate = predicate
+        self.left = left
+        self.right = right
+        self.outer = outer
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def fingerprint(self) -> tuple:
+        predicate = self.predicate.fingerprint() if self.predicate is not None else None
+        return (
+            "nljoin",
+            predicate,
+            self.outer,
+            self.left.fingerprint(),
+            self.right.fingerprint(),
+        )
+
+    def describe(self) -> str:
+        predicate = to_string(self.predicate) if self.predicate is not None else "true"
+        return f"NestedLoopJoin({predicate})"
+
+
+class PhysReduce(PhysicalPlan):
+    """Final projection (bag output) or global aggregation."""
+
+    def __init__(self, monoid: str, columns: Sequence[OutputColumn], child: PhysicalPlan):
+        self.monoid = monoid
+        self.columns = list(columns)
+        self.child = child
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def fingerprint(self) -> tuple:
+        return (
+            "reduce",
+            self.monoid,
+            tuple(column.fingerprint() for column in self.columns),
+            self.child.fingerprint(),
+        )
+
+    def describe(self) -> str:
+        columns = ", ".join(
+            f"{column.name}={to_string(column.expression)}" for column in self.columns
+        )
+        return f"Reduce[{self.monoid}]({columns})"
+
+
+class PhysNest(PhysicalPlan):
+    """Radix-hash grouping with per-group aggregates."""
+
+    def __init__(
+        self,
+        columns: Sequence[OutputColumn],
+        group_by: Sequence[Expression],
+        child: PhysicalPlan,
+    ):
+        self.columns = list(columns)
+        self.group_by = list(group_by)
+        self.child = child
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def fingerprint(self) -> tuple:
+        return (
+            "nest",
+            tuple(column.fingerprint() for column in self.columns),
+            tuple(expression.fingerprint() for expression in self.group_by),
+            self.child.fingerprint(),
+        )
+
+    def describe(self) -> str:
+        columns = ", ".join(
+            f"{column.name}={to_string(column.expression)}" for column in self.columns
+        )
+        keys = ", ".join(to_string(expression) for expression in self.group_by)
+        return f"RadixNest(group by {keys}; {columns})"
+
+
+def scans_of(plan: PhysicalPlan) -> list[PhysScan]:
+    """All scan leaves of a physical plan, in traversal order."""
+    return [node for node in plan.walk() if isinstance(node, PhysScan)]
+
+
+def datasets_of(plan: PhysicalPlan) -> set[str]:
+    """Names of all datasets touched by the plan."""
+    return {scan.dataset for scan in scans_of(plan)}

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro (Proteus reproduction) package.
+
+All errors raised by the library derive from :class:`ProteusError` so that
+callers can catch a single base class.  The sub-classes mirror the stages of
+query processing: parsing, planning, code generation, execution and storage.
+"""
+
+from __future__ import annotations
+
+
+class ProteusError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ParseError(ProteusError):
+    """Raised when a SQL statement or a comprehension cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (near position {position}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class SchemaError(ProteusError):
+    """Raised when a dataset schema is inconsistent or a field is unknown."""
+
+
+class CatalogError(ProteusError):
+    """Raised when a dataset is missing from, or already present in, the catalog."""
+
+
+class PlanningError(ProteusError):
+    """Raised when the optimizer cannot produce a valid plan for a query."""
+
+
+class TranslationError(ProteusError):
+    """Raised when a calculus expression cannot be translated to the algebra."""
+
+
+class CodegenError(ProteusError):
+    """Raised when code generation produces an invalid program."""
+
+
+class ExecutionError(ProteusError):
+    """Raised when a generated or interpreted plan fails at run time."""
+
+
+class StorageError(ProteusError):
+    """Raised for binary-format, memory-manager and structural-index failures."""
+
+
+class PluginError(ProteusError):
+    """Raised when an input plug-in cannot serve a request."""
+
+
+class CacheError(ProteusError):
+    """Raised by the caching manager (arena overflow, invalid cache entries)."""
+
+
+class UnsupportedFeatureError(ProteusError):
+    """Raised for query shapes the reproduction intentionally does not cover."""

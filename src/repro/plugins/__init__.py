@@ -1,0 +1,25 @@
+"""Input and output plug-ins.
+
+Input plug-ins encapsulate data-format heterogeneity: each one knows how to
+access a specific file format (CSV, JSON, binary row/column, or an in-memory
+cache) and exposes the uniform API of Table 2 to the rest of the engine.
+Output plug-ins handle result flushing and cache materialization.
+"""
+
+from repro.plugins.base import InputPlugin, ScanBuffers, UnnestBuffers
+from repro.plugins.binary_col_plugin import BinaryColumnPlugin
+from repro.plugins.binary_row_plugin import BinaryRowPlugin
+from repro.plugins.cache_plugin import CachePlugin
+from repro.plugins.csv_plugin import CsvPlugin
+from repro.plugins.json_plugin import JsonPlugin
+
+__all__ = [
+    "InputPlugin",
+    "ScanBuffers",
+    "UnnestBuffers",
+    "CsvPlugin",
+    "JsonPlugin",
+    "BinaryRowPlugin",
+    "BinaryColumnPlugin",
+    "CachePlugin",
+]

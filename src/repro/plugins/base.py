@@ -1,0 +1,257 @@
+"""Input plug-in API (Table 2 of the paper).
+
+Every supported data format is served by an input plug-in.  Plug-ins are the
+only component that understands the bytes of a format; operators and
+expression generators consume values exclusively through this interface, which
+is what makes the engine extensible ("adding a plug-in suffices to support a
+new data format", §4).
+
+The API mirrors Table 2:
+
+==================  =========================================================
+Paper call          Reproduction method
+==================  =========================================================
+``generate()``      :meth:`InputPlugin.generate_scan` — emit scan code into a
+                    codegen context and return the buffer variables holding
+                    the requested fields.
+``readValue()``     :meth:`InputPlugin.read_value` — fetch one field of one
+                    object identified by its OID.
+``readPath()``      :meth:`InputPlugin.read_path` — fetch a nested object /
+                    collection reachable through a path.
+``unnestInit()``    :meth:`InputPlugin.unnest_init`
+``unnestHasNext()`` :meth:`InputPlugin.unnest_has_next`
+``unnestGetNext()`` :meth:`InputPlugin.unnest_get_next`
+``hashValue()``     :meth:`InputPlugin.hash_value`
+``flushValue()``    :meth:`InputPlugin.flush_value`
+==================  =========================================================
+
+In addition, plug-ins provide statistics and cost formulas to the optimizer
+(§5.2, "Enabling Cost-based Optimizations") and bulk, vectorized accessors
+(:meth:`scan_columns`, :meth:`scan_unnest`) that the generated per-query code
+calls at run time — the Python analogue of the data-access code the paper's
+plug-ins generate as LLVM IR.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.core import types as t
+from repro.errors import PluginError
+from repro.storage.catalog import Dataset, DatasetStatistics
+from repro.storage.memory import MemoryManager
+
+FieldPath = tuple[str, ...]
+
+
+@dataclass
+class ScanBuffers:
+    """The virtual memory buffers a scan populates for the rest of the plan.
+
+    ``columns`` maps each requested field path to a NumPy array with one entry
+    per qualifying object; ``oids`` carries the object identifier the plug-in
+    produced for each entry, which later lazy accesses (``read_value``) use to
+    return to the source object.
+    """
+
+    count: int
+    oids: np.ndarray
+    columns: dict[FieldPath, np.ndarray] = field(default_factory=dict)
+
+    def column(self, path: FieldPath) -> np.ndarray:
+        try:
+            return self.columns[path]
+        except KeyError as exc:
+            raise PluginError(f"scan did not materialize field {'.'.join(path)!r}") from exc
+
+
+@dataclass
+class UnnestBuffers:
+    """Buffers produced when unnesting a nested collection.
+
+    ``parent_positions`` maps every unnested element back to the position of
+    its parent in the parent buffers (so parent fields can be gathered), and
+    ``columns`` holds the requested element fields, flattened.
+    """
+
+    count: int
+    parent_positions: np.ndarray
+    columns: dict[FieldPath, np.ndarray] = field(default_factory=dict)
+
+    def column(self, path: FieldPath) -> np.ndarray:
+        try:
+            return self.columns[path]
+        except KeyError as exc:
+            raise PluginError(f"unnest did not materialize field {'.'.join(path)!r}") from exc
+
+
+@dataclass
+class UnnestState:
+    """Iterator state for the tuple-at-a-time unnest API."""
+
+    elements: list
+    position: int = 0
+
+
+class InputPlugin(ABC):
+    """Base class of all input plug-ins."""
+
+    #: Format name served by the plug-in (matches ``Dataset.format``).
+    format_name: str = "abstract"
+
+    #: Relative cost of extracting one value from the source, used by the
+    #: optimizer's cost formulas and by the format-biased cache eviction
+    #: policy (JSON > CSV > binary).
+    field_access_cost: float = 1.0
+
+    def __init__(self, memory: MemoryManager):
+        self.memory = memory
+
+    # -- schema and statistics ----------------------------------------------
+
+    @abstractmethod
+    def infer_schema(self, dataset: Dataset) -> t.RecordType:
+        """Discover the element schema of the dataset."""
+
+    @abstractmethod
+    def collect_statistics(self, dataset: Dataset) -> DatasetStatistics:
+        """Gather cardinality and min/max statistics for the dataset."""
+
+    # -- bulk (vectorized) access used by generated code ---------------------
+
+    @abstractmethod
+    def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
+        """Materialize the requested field paths into columnar buffers."""
+
+    def scan_columns_at(
+        self, dataset: Dataset, paths: Sequence[FieldPath], oids: np.ndarray
+    ) -> ScanBuffers:
+        """Materialize the requested fields for the given OIDs only.
+
+        This is the *lazy* access path of §5.2: when a selection has already
+        filtered most objects away, converting the remaining fields only for
+        the qualifying OIDs avoids touching the raw data for objects that were
+        filtered out.  The default implementation extracts full columns and
+        gathers; verbose formats override it with genuinely selective access.
+        """
+        full = self.scan_columns(dataset, paths)
+        buffers = ScanBuffers(count=len(oids), oids=np.asarray(oids, dtype=np.int64))
+        for path in paths:
+            buffers.columns[tuple(path)] = full.column(tuple(path))[oids]
+        return buffers
+
+    def scan_unnest(
+        self,
+        dataset: Dataset,
+        collection_path: FieldPath,
+        element_paths: Sequence[FieldPath],
+        parent_oids: np.ndarray | None = None,
+    ) -> UnnestBuffers:
+        """Unnest a nested collection field into flattened buffers."""
+        raise PluginError(
+            f"format {self.format_name!r} does not contain nested collections"
+        )
+
+    # -- tuple-at-a-time access (Volcano executor, lazy expression evaluation)
+
+    @abstractmethod
+    def iterate_rows(
+        self, dataset: Dataset, paths: Sequence[FieldPath] | None = None
+    ) -> Iterator[dict]:
+        """Yield one dict per object; when ``paths`` is given only those
+        fields need to be populated (plus nested structure they traverse)."""
+
+    def read_value(self, dataset: Dataset, oid: int, path: FieldPath) -> Any:
+        """Fetch a single field value by OID (lazy access)."""
+        raise PluginError(f"format {self.format_name!r} does not support lazy access")
+
+    def read_path(self, dataset: Dataset, oid: int, path: FieldPath) -> Any:
+        """Fetch a nested object or collection by OID."""
+        return self.read_value(dataset, oid, path)
+
+    # -- unnest iterator protocol (Table 2) ----------------------------------
+
+    def unnest_init(self, dataset: Dataset, oid: int, path: FieldPath) -> UnnestState:
+        value = self.read_path(dataset, oid, path)
+        if value is None:
+            return UnnestState([])
+        if not isinstance(value, (list, tuple)):
+            raise PluginError(f"field {'.'.join(path)!r} is not a collection")
+        return UnnestState(list(value))
+
+    def unnest_has_next(self, state: UnnestState) -> bool:
+        return state.position < len(state.elements)
+
+    def unnest_get_next(self, state: UnnestState) -> Any:
+        value = state.elements[state.position]
+        state.position += 1
+        return value
+
+    # -- value helpers --------------------------------------------------------
+
+    def hash_value(self, value: Any) -> int:
+        """Hash a value for joins/grouping (overridable per format)."""
+        return hash(value)
+
+    def flush_value(self, value: Any) -> str:
+        """Render a value for result output."""
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    # -- code generation ------------------------------------------------------
+
+    def generate_scan(
+        self, ctx, dataset: Dataset, paths: Sequence[FieldPath]
+    ) -> dict[FieldPath, str]:
+        """Emit scan code into a codegen context.
+
+        The default implementation registers this plug-in in the generated
+        program's runtime table and emits a call to :meth:`scan_columns`,
+        followed by one buffer variable per requested field.  Plug-ins may
+        override this to specialize further (e.g. the binary column plug-in
+        emits direct array references).
+        """
+        dataset_var = ctx.register_constant(f"ds_{dataset.name}", dataset)
+        plugin_var = ctx.register_constant(f"plugin_{self.format_name}", self)
+        buffers_var = ctx.fresh("buffers")
+        path_literal = ", ".join(repr(tuple(path)) for path in paths)
+        ctx.emit(
+            f"{buffers_var} = rt.scan({plugin_var}, {dataset_var}, ({path_literal}{',' if paths else ''}))"
+        )
+        variables: dict[FieldPath, str] = {}
+        for path in paths:
+            var = ctx.fresh("col_" + "_".join(path) if path else "col_value")
+            ctx.emit(f"{var} = {buffers_var}.column({tuple(path)!r})")
+            variables[path] = var
+        oid_var = ctx.fresh("oids")
+        ctx.emit(f"{oid_var} = {buffers_var}.oids")
+        variables[("__oid__",)] = oid_var
+        return variables
+
+    # -- costing --------------------------------------------------------------
+
+    def scan_cost(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        statistics: DatasetStatistics | None,
+    ) -> float:
+        """Estimated cost of scanning the requested fields of the dataset."""
+        cardinality = statistics.cardinality if statistics is not None else 1_000_000
+        return cardinality * self.field_access_cost * max(len(paths), 1)
+
+
+def require_flat_path(path: FieldPath) -> str:
+    """Helper for flat formats: a path must have exactly one element."""
+    if len(path) != 1:
+        raise PluginError(
+            f"flat formats have no nested fields; got path {'.'.join(path)!r}"
+        )
+    return path[0]

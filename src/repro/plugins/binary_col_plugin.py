@@ -1,0 +1,97 @@
+"""Binary column input plug-in.
+
+Serves column tables ("binary column files similar to the ones of MonetDB",
+§7.1).  Columns are memory-mapped and handed to the generated code directly,
+so a scan that touches K columns reads exactly K arrays — the cheapest access
+path of the engine, which is why the cost model and the cache-eviction bias
+rank binary data below CSV and JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.core import types as t
+from repro.plugins.base import FieldPath, InputPlugin, ScanBuffers, require_flat_path
+from repro.storage.binary_format import ColumnTable, read_column_table
+from repro.storage.catalog import Dataset, DatasetStatistics
+
+
+class BinaryColumnPlugin(InputPlugin):
+    """Input plug-in for column tables produced by
+    :func:`repro.storage.binary_format.write_column_table`."""
+
+    format_name = "binary_column"
+    field_access_cost = 0.05
+
+    def __init__(self, memory):
+        super().__init__(memory)
+        self._tables: dict[str, ColumnTable] = {}
+
+    def _table(self, dataset: Dataset) -> ColumnTable:
+        table = self._tables.get(dataset.name)
+        if table is None:
+            table = read_column_table(dataset.path)
+            self._tables[dataset.name] = table
+        return table
+
+    def invalidate(self, dataset_name: str) -> None:
+        self._tables.pop(dataset_name, None)
+
+    # -- schema and statistics -------------------------------------------------
+
+    def infer_schema(self, dataset: Dataset) -> t.RecordType:
+        return self._table(dataset).schema
+
+    def collect_statistics(self, dataset: Dataset) -> DatasetStatistics:
+        table = self._table(dataset)
+        statistics = DatasetStatistics(cardinality=table.row_count)
+        for field in table.schema.fields:
+            if not field.dtype.is_numeric():
+                continue
+            column = table.column(field.name)
+            if len(column):
+                statistics.min_values[field.name] = float(np.min(column))
+                statistics.max_values[field.name] = float(np.max(column))
+        return statistics
+
+    # -- bulk access --------------------------------------------------------------
+
+    def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
+        table = self._table(dataset)
+        buffers = ScanBuffers(
+            count=table.row_count, oids=np.arange(table.row_count, dtype=np.int64)
+        )
+        for path in paths:
+            name = require_flat_path(path)
+            buffers.columns[path] = np.asarray(table.column(name))
+        return buffers
+
+    # -- tuple-at-a-time access -----------------------------------------------------
+
+    def iterate_rows(
+        self, dataset: Dataset, paths: Sequence[FieldPath] | None = None
+    ) -> Iterator[dict]:
+        table = self._table(dataset)
+        names = (
+            [require_flat_path(path) for path in paths]
+            if paths is not None
+            else table.schema.field_names()
+        )
+        columns = [table.column(name) for name in names]
+        for row in range(table.row_count):
+            yield {name: _python_value(column[row]) for name, column in zip(names, columns)}
+
+    def read_value(self, dataset: Dataset, oid: int, path: FieldPath) -> Any:
+        table = self._table(dataset)
+        name = require_flat_path(path)
+        return _python_value(table.column(name)[int(oid)])
+
+
+def _python_value(value: Any) -> Any:
+    """Convert NumPy scalars to plain Python values for tuple-at-a-time use."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

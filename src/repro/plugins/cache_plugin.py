@@ -1,0 +1,133 @@
+"""Cache input plug-in.
+
+Once materialized, Proteus treats its caches as an additional input dataset
+(§6): the cache plug-in exposes the binary column caches held by the caching
+manager through the same plug-in API as every other format, so the rest of the
+engine does not distinguish between reading a raw file and reading a cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.caching.manager import CacheManager
+from repro.caching.matching import field_cache_key
+from repro.core import types as t
+from repro.errors import PluginError
+from repro.plugins.base import FieldPath, InputPlugin, ScanBuffers, require_flat_path
+from repro.storage.catalog import Dataset, DatasetStatistics
+
+
+class CachePlugin(InputPlugin):
+    """Input plug-in over the caching manager's field caches.
+
+    The ``dataset`` handed to this plug-in names the *source* dataset whose
+    converted fields live in the cache; the plug-in serves exactly the fields
+    that have been cached and refuses the rest, so the planner only routes a
+    scan here when every required field is available.
+    """
+
+    format_name = "cache"
+    field_access_cost = 0.05
+
+    def __init__(self, memory, manager: CacheManager):
+        super().__init__(memory)
+        self.manager = manager
+
+    # -- availability -----------------------------------------------------------
+
+    def cached_paths(self, dataset_name: str) -> set[FieldPath]:
+        """Field paths of ``dataset_name`` currently served from the cache."""
+        paths: set[FieldPath] = set()
+        for entry in self.manager.entries_for_dataset(dataset_name):
+            if entry.kind == "field":
+                paths.add(tuple(entry.key[2]))
+        return paths
+
+    def can_serve(self, dataset_name: str, paths: Sequence[FieldPath]) -> bool:
+        available = self.cached_paths(dataset_name)
+        return all(tuple(path) in available for path in paths)
+
+    # -- schema and statistics ------------------------------------------------------
+
+    def infer_schema(self, dataset: Dataset) -> t.RecordType:
+        fields = []
+        for entry in self.manager.entries_for_dataset(dataset.name):
+            if entry.kind != "field":
+                continue
+            path = entry.key[2]
+            array = entry.data
+            dtype = _type_of(array)
+            fields.append(t.Field(".".join(path), dtype))
+        return t.RecordType(fields)
+
+    def collect_statistics(self, dataset: Dataset) -> DatasetStatistics:
+        cardinality = 0
+        minimums: dict[str, float] = {}
+        maximums: dict[str, float] = {}
+        for entry in self.manager.entries_for_dataset(dataset.name):
+            if entry.kind != "field":
+                continue
+            array = entry.data
+            cardinality = max(cardinality, len(array))
+            if array.dtype != object and len(array):
+                name = ".".join(entry.key[2])
+                minimums[name] = float(np.nanmin(array))
+                maximums[name] = float(np.nanmax(array))
+        return DatasetStatistics(
+            cardinality=cardinality, min_values=minimums, max_values=maximums
+        )
+
+    # -- bulk access ------------------------------------------------------------------
+
+    def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
+        columns: dict[FieldPath, np.ndarray] = {}
+        count = 0
+        for path in paths:
+            entry = self.manager.lookup(field_cache_key(dataset.name, tuple(path)))
+            if entry is None:
+                raise PluginError(
+                    f"field {'.'.join(path)!r} of {dataset.name!r} is not cached"
+                )
+            columns[tuple(path)] = entry.data
+            count = len(entry.data)
+        buffers = ScanBuffers(count=count, oids=np.arange(count, dtype=np.int64))
+        buffers.columns.update(columns)
+        return buffers
+
+    # -- tuple-at-a-time access ----------------------------------------------------------
+
+    def iterate_rows(
+        self, dataset: Dataset, paths: Sequence[FieldPath] | None = None
+    ) -> Iterator[dict]:
+        if paths is None:
+            paths = sorted(self.cached_paths(dataset.name))
+        buffers = self.scan_columns(dataset, list(paths))
+        names = [".".join(path) for path in paths]
+        arrays = [buffers.column(tuple(path)) for path in paths]
+        for row in range(buffers.count):
+            yield {name: _python_value(array[row]) for name, array in zip(names, arrays)}
+
+    def read_value(self, dataset: Dataset, oid: int, path: FieldPath) -> Any:
+        entry = self.manager.lookup(field_cache_key(dataset.name, tuple(path)))
+        if entry is None:
+            raise PluginError(f"field {'.'.join(path)!r} of {dataset.name!r} is not cached")
+        return _python_value(entry.data[int(oid)])
+
+
+def _type_of(array: np.ndarray) -> t.DataType:
+    if array.dtype == object:
+        return t.STRING
+    if array.dtype.kind == "b":
+        return t.BOOL
+    if array.dtype.kind == "i":
+        return t.INT
+    return t.FLOAT
+
+
+def _python_value(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

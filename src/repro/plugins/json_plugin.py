@@ -1,0 +1,417 @@
+"""JSON input plug-in.
+
+The JSON plug-in queries raw JSON object streams (one object per line, or
+whitespace-separated) in place.  On the first access it validates the file and
+builds the two-level structural index of §5.2: Level 1 stores the byte span
+and type of every token per object, Level 0 maps field paths to Level-1
+entries so that schema flexibility (arbitrary field order, optional fields)
+does not force a sequential token scan.  When every object carries the same
+fields in the same order, Level 0 is dropped (fixed-schema specialization).
+
+Scans slice only the spans of the fields a query needs — nested paths included
+— and convert them to binary values on the fly; nested arrays are handled by
+the Unnest operator through :meth:`JsonPlugin.scan_unnest`, which parses only
+the array spans.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.core import types as t
+from repro.errors import PluginError
+from repro.plugins.base import FieldPath, InputPlugin, ScanBuffers, UnnestBuffers
+from repro.storage.catalog import Dataset, DatasetStatistics
+from repro.storage.structural_index import (
+    JsonStructuralIndex,
+    TYPE_ARRAY,
+    TYPE_BOOL,
+    TYPE_NULL,
+    TYPE_NUMBER,
+    TYPE_OBJECT,
+    TYPE_STRING,
+    build_json_index,
+)
+
+
+@dataclass
+class _JsonState:
+    """Per-dataset state kept after the first (validating) access."""
+
+    data: bytes
+    index: JsonStructuralIndex
+    build_seconds: float
+
+
+class JsonPlugin(InputPlugin):
+    """Input plug-in for raw JSON object streams."""
+
+    format_name = "json"
+    field_access_cost = 2.5
+
+    def __init__(self, memory):
+        super().__init__(memory)
+        self._states: dict[str, _JsonState] = {}
+
+    # -- dataset state ---------------------------------------------------------
+
+    def _state(self, dataset: Dataset) -> _JsonState:
+        state = self._states.get(dataset.name)
+        if state is not None:
+            return state
+        started = time.perf_counter()
+        mapped = self.memory.map_file(dataset.path)
+        data = bytes(mapped.data) if mapped.mapped else mapped.data
+        index = build_json_index(data, max_depth=dataset.options.get("max_depth", 8))
+        state = _JsonState(data=data, index=index, build_seconds=time.perf_counter() - started)
+        self._states[dataset.name] = state
+        return state
+
+    def invalidate(self, dataset_name: str) -> None:
+        """Drop per-dataset state (used when the underlying file changes)."""
+        self._states.pop(dataset_name, None)
+
+    def index_info(self, dataset: Dataset) -> dict:
+        """Structural-index metadata used by the benchmarks."""
+        state = self._state(dataset)
+        return {
+            "size_bytes": state.index.size_bytes,
+            "file_bytes": len(state.data),
+            "build_seconds": state.build_seconds,
+            "objects": state.index.num_objects,
+            "fixed_schema": state.index.fixed_schema,
+        }
+
+    # -- schema and statistics ----------------------------------------------------
+
+    def infer_schema(self, dataset: Dataset) -> t.RecordType:
+        state = self._state(dataset)
+        sample_size = min(dataset.options.get("sample_size", 50), state.index.num_objects)
+        merged: t.DataType | None = None
+        for position in range(sample_size):
+            start, end = state.index.object_span(position)
+            record = json.loads(state.data[start:end])
+            inferred = t.infer_type(record)
+            merged = inferred if merged is None else t.merge_types(merged, inferred)
+        if merged is None:
+            return t.RecordType([])
+        if not isinstance(merged, t.RecordType):
+            raise PluginError("JSON dataset does not contain objects")
+        return merged
+
+    def collect_statistics(self, dataset: Dataset) -> DatasetStatistics:
+        state = self._state(dataset)
+        statistics = DatasetStatistics(cardinality=state.index.num_objects)
+        for field in dataset.schema.fields:
+            if not field.dtype.is_numeric():
+                continue
+            try:
+                values = self.scan_columns(dataset, [(field.name,)]).column((field.name,))
+            except PluginError:
+                continue
+            if len(values):
+                statistics.min_values[field.name] = float(np.nanmin(values))
+                statistics.max_values[field.name] = float(np.nanmax(values))
+        return statistics
+
+    # -- bulk access ----------------------------------------------------------------
+
+    def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
+        state = self._state(dataset)
+        count = state.index.num_objects
+        buffers = ScanBuffers(count=count, oids=np.arange(count, dtype=np.int64))
+        for path in paths:
+            buffers.columns[path] = self._extract_column(dataset, state, path)
+        return buffers
+
+    def scan_columns_at(
+        self, dataset: Dataset, paths: Sequence[FieldPath], oids: np.ndarray
+    ) -> ScanBuffers:
+        """Selective (lazy) extraction: convert fields only for the given objects."""
+        state = self._state(dataset)
+        rows = np.asarray(oids, dtype=np.int64)
+        buffers = ScanBuffers(count=len(rows), oids=rows)
+        for path in paths:
+            buffers.columns[tuple(path)] = self._extract_column(
+                dataset, state, tuple(path), positions=rows
+            )
+        return buffers
+
+    def _extract_column(
+        self,
+        dataset: Dataset,
+        state: _JsonState,
+        path: FieldPath,
+        positions: np.ndarray | None = None,
+    ) -> np.ndarray:
+        key = ".".join(path)
+        data = state.data
+        index = state.index
+        dtype_name = self._field_type_name(dataset, path)
+        objects: list[int] = (
+            list(range(index.num_objects))
+            if positions is None
+            else [int(p) for p in positions]
+        )
+        if dtype_name in ("int", "float", "date"):
+            column = self._extract_numeric_column(state, key, dtype_name, objects)
+            if column is not None:
+                return column
+        values: list[Any] = []
+        for position in objects:
+            span = index.field_span(position, key)
+            if span is None:
+                values.append(None)
+                continue
+            start, end, type_code = span
+            values.append(_convert_span(data, start, end, type_code))
+        return _to_array(values, dtype_name)
+
+    @staticmethod
+    def _extract_numeric_column(
+        state: _JsonState, key: str, dtype_name: str, objects: list[int]
+    ) -> np.ndarray | None:
+        """Fast path for numeric fields: slice the value spans and convert them
+        in bulk (the Python analogue of the generated conversion code).
+        Returns ``None`` when a non-numeric token is encountered."""
+        data = state.data
+        index = state.index
+        slices: list[bytes] = []
+        missing = False
+        vectorized = index.column_spans(key, objects if objects is not None else None)
+        if vectorized is not None:
+            starts, ends, types = vectorized
+            if not np.all((types == TYPE_NUMBER) | (types == TYPE_NULL) | (starts < 0)):
+                return None
+            start_list = starts.tolist()
+            end_list = ends.tolist()
+            type_list = types.tolist()
+            for start, end, type_code in zip(start_list, end_list, type_list):
+                if start < 0 or type_code == TYPE_NULL:
+                    slices.append(b"nan")
+                    missing = True
+                else:
+                    slices.append(data[start:end])
+        else:
+            for position in objects:
+                span = index.field_span(position, key)
+                if span is None:
+                    slices.append(b"nan")
+                    missing = True
+                    continue
+                start, end, type_code = span
+                if type_code == TYPE_NUMBER:
+                    slices.append(data[start:end])
+                elif type_code == TYPE_NULL:
+                    slices.append(b"nan")
+                    missing = True
+                else:
+                    return None
+        if not slices:
+            return np.zeros(0, dtype=np.float64)
+        try:
+            floats = np.asarray(slices).astype(np.float64)
+        except ValueError:
+            return None
+        if dtype_name in ("int", "date") and not missing and \
+                np.all(floats == np.floor(floats)):
+            return floats.astype(np.int64)
+        return floats
+
+    def scan_unnest(
+        self,
+        dataset: Dataset,
+        collection_path: FieldPath,
+        element_paths: Sequence[FieldPath],
+        parent_oids: np.ndarray | None = None,
+    ) -> UnnestBuffers:
+        state = self._state(dataset)
+        data = state.data
+        index = state.index
+        key = ".".join(collection_path)
+        positions = (
+            range(index.num_objects) if parent_oids is None else (int(x) for x in parent_oids)
+        )
+        parent_positions: list[int] = []
+        columns: dict[FieldPath, list] = {path: [] for path in element_paths}
+        for slot, position in enumerate(positions):
+            span = index.field_span(position, key)
+            if span is None:
+                continue
+            start, end, type_code = span
+            if type_code != TYPE_ARRAY:
+                raise PluginError(f"field {key!r} is not a nested collection")
+            elements = json.loads(data[start:end])
+            for element in elements:
+                parent_positions.append(slot)
+                for path in element_paths:
+                    columns[path].append(_dig(element, path))
+        element_types = {
+            path: self._element_type_name(dataset, collection_path, path)
+            for path in element_paths
+        }
+        buffers = UnnestBuffers(
+            count=len(parent_positions),
+            parent_positions=np.asarray(parent_positions, dtype=np.int64),
+        )
+        for path in element_paths:
+            buffers.columns[path] = _to_array(columns[path], element_types[path])
+        return buffers
+
+    # -- tuple-at-a-time access -------------------------------------------------------
+
+    def iterate_rows(
+        self, dataset: Dataset, paths: Sequence[FieldPath] | None = None
+    ) -> Iterator[dict]:
+        state = self._state(dataset)
+        data = state.data
+        index = state.index
+        if paths is None:
+            for position in range(index.num_objects):
+                start, end = index.object_span(position)
+                yield json.loads(data[start:end])
+            return
+        keys = [".".join(path) for path in paths]
+        for position in range(index.num_objects):
+            record: dict[str, Any] = {}
+            for path, key in zip(paths, keys):
+                span = index.field_span(position, key)
+                if span is None:
+                    value = self._read_via_parse(state, position, path)
+                else:
+                    start, end, type_code = span
+                    value = _convert_span(data, start, end, type_code)
+                _assign(record, path, value)
+            yield record
+
+    def read_value(self, dataset: Dataset, oid: int, path: FieldPath) -> Any:
+        state = self._state(dataset)
+        span = state.index.field_span(int(oid), ".".join(path))
+        if span is None:
+            return self._read_via_parse(state, int(oid), path)
+        start, end, type_code = span
+        return _convert_span(state.data, start, end, type_code)
+
+    def read_path(self, dataset: Dataset, oid: int, path: FieldPath) -> Any:
+        return self.read_value(dataset, oid, path)
+
+    # -- costing -------------------------------------------------------------------------
+
+    def scan_cost(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        statistics: DatasetStatistics | None,
+    ) -> float:
+        cardinality = statistics.cardinality if statistics is not None else 1_000_000
+        return cardinality * self.field_access_cost * max(len(paths), 1)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _read_via_parse(self, state: _JsonState, position: int, path: FieldPath) -> Any:
+        """Fallback for paths not present in the structural index (e.g. a field
+        nested inside an array element)."""
+        start, end = state.index.object_span(position)
+        record = json.loads(state.data[start:end])
+        return _dig(record, path)
+
+    @staticmethod
+    def _field_type_name(dataset: Dataset, path: FieldPath) -> str:
+        if dataset.schema is None:
+            return "float"
+        try:
+            resolved = dataset.schema.resolve_path(path)
+        except Exception:
+            return "float"
+        return resolved.name if resolved.is_primitive() else "string"
+
+    @staticmethod
+    def _element_type_name(
+        dataset: Dataset, collection_path: FieldPath, element_path: FieldPath
+    ) -> str:
+        if dataset.schema is None:
+            return "float"
+        try:
+            collection = dataset.schema.resolve_path(collection_path)
+        except Exception:
+            return "float"
+        if not isinstance(collection, t.CollectionType):
+            return "float"
+        element = collection.element
+        if not element_path:
+            return element.name if element.is_primitive() else "string"
+        if isinstance(element, t.RecordType):
+            try:
+                resolved = element.resolve_path(element_path)
+            except Exception:
+                return "float"
+            return resolved.name if resolved.is_primitive() else "string"
+        return "float"
+
+
+# ---------------------------------------------------------------------------
+# Span conversion helpers
+# ---------------------------------------------------------------------------
+
+
+def _convert_span(data: bytes, start: int, end: int, type_code: int) -> Any:
+    text = data[start:end]
+    if type_code == TYPE_NUMBER:
+        decoded = text.decode("utf-8")
+        if "." in decoded or "e" in decoded or "E" in decoded:
+            return float(decoded)
+        return int(decoded)
+    if type_code == TYPE_STRING:
+        return json.loads(text)
+    if type_code == TYPE_BOOL:
+        return text == b"true"
+    if type_code == TYPE_NULL:
+        return None
+    # objects and arrays: parse the span only
+    return json.loads(text)
+
+
+def _dig(value: Any, path: FieldPath) -> Any:
+    for step in path:
+        if value is None:
+            return None
+        if isinstance(value, dict):
+            value = value.get(step)
+        else:
+            return None
+    return value
+
+
+def _assign(record: dict, path: FieldPath, value: Any) -> None:
+    current = record
+    for step in path[:-1]:
+        current = current.setdefault(step, {})
+    current[path[-1] if path else "value"] = value
+
+
+def _to_array(values: list, dtype_name: str) -> np.ndarray:
+    """Convert extracted values to a NumPy buffer, mapping missing numeric
+    values to NaN so vectorized predicates remain well-defined.  Values that do
+    not convert to the declared type fall back to an object buffer (schema
+    flexibility must never fail a scan)."""
+    try:
+        if dtype_name in ("int", "date"):
+            if any(v is None for v in values):
+                return np.asarray(
+                    [np.nan if v is None else float(v) for v in values], dtype=np.float64
+                )
+            return np.asarray([int(v) for v in values], dtype=np.int64)
+        if dtype_name == "float":
+            return np.asarray(
+                [np.nan if v is None else float(v) for v in values], dtype=np.float64
+            )
+        if dtype_name == "bool":
+            return np.asarray([bool(v) for v in values], dtype=np.bool_)
+    except (TypeError, ValueError):
+        pass
+    return np.asarray(values, dtype=object)

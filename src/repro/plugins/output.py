@@ -1,0 +1,117 @@
+"""Output plug-ins (§4 and §6).
+
+Output plug-ins handle the two "write" paths of the engine:
+
+* flushing query results to the user in a chosen shape (rows of tuples,
+  column arrays, or nested records), and
+* materializing caches: given the expression buffers produced during
+  execution, an output plug-in decides the serialization format and the
+  *degree of eagerness* — cache the converted binary values, or only the
+  positions/OIDs needed to re-fetch them lazily.
+
+Different workloads benefit from different choices; the engine's default is
+the eager binary-column output plug-in, matching the paper's observation that
+compact binary caches give the largest benefit for verbose sources.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass
+class MaterializedCache:
+    """The product of an output plug-in's cache materialization."""
+
+    data: Any
+    size_bytes: int
+    eagerness: str  # "eager" (binary values) or "lazy" (positions only)
+    description: str
+
+
+class OutputPlugin(ABC):
+    """Base class of output plug-ins."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def flush_rows(
+        self, column_names: Sequence[str], columns: Mapping[str, np.ndarray]
+    ) -> list[tuple]:
+        """Assemble result rows from column buffers."""
+
+    @abstractmethod
+    def materialize_cache(
+        self, values: np.ndarray, oids: np.ndarray, description: str
+    ) -> MaterializedCache:
+        """Materialize a cache for an evaluated expression."""
+
+
+class BinaryColumnOutput(OutputPlugin):
+    """Eager output plug-in: caches hold converted binary values.
+
+    This resembles the binary columns a columnar engine would store, and is
+    the default because verbose sources (JSON/CSV) pay the conversion cost
+    exactly once.
+    """
+
+    name = "binary_column"
+
+    def flush_rows(
+        self, column_names: Sequence[str], columns: Mapping[str, np.ndarray]
+    ) -> list[tuple]:
+        if not column_names:
+            return []
+        arrays = [columns[name] for name in column_names]
+        count = len(arrays[0]) if arrays else 0
+        return [
+            tuple(_python_value(array[row]) for array in arrays) for row in range(count)
+        ]
+
+    def materialize_cache(
+        self, values: np.ndarray, oids: np.ndarray, description: str
+    ) -> MaterializedCache:
+        packed = np.ascontiguousarray(values)
+        size = int(packed.nbytes) if packed.dtype != object else int(
+            sum(len(str(v)) + 48 for v in packed)
+        )
+        return MaterializedCache(
+            data=packed, size_bytes=size, eagerness="eager", description=description
+        )
+
+
+class PositionalOutput(OutputPlugin):
+    """Lazy output plug-in: caches hold only the OIDs of qualifying entries.
+
+    Re-reading a value requires going back to the source through
+    ``read_value``; the cache is tiny but each reuse pays the extraction cost
+    again.  Used by the eagerness ablation benchmark.
+    """
+
+    name = "positional"
+
+    def flush_rows(
+        self, column_names: Sequence[str], columns: Mapping[str, np.ndarray]
+    ) -> list[tuple]:
+        return BinaryColumnOutput().flush_rows(column_names, columns)
+
+    def materialize_cache(
+        self, values: np.ndarray, oids: np.ndarray, description: str
+    ) -> MaterializedCache:
+        packed = np.ascontiguousarray(oids)
+        return MaterializedCache(
+            data=packed,
+            size_bytes=int(packed.nbytes),
+            eagerness="lazy",
+            description=description,
+        )
+
+
+def _python_value(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

@@ -1,0 +1,1 @@
+"""Workload generators and query templates for the reproduced experiments."""

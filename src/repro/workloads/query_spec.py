@@ -1,0 +1,231 @@
+"""Engine-independent query specifications.
+
+The benchmark harness runs the *same* query against Proteus and against every
+simulated comparator system.  Proteus consumes SQL / comprehension text, while
+the baselines interpret their own storage; to keep a single source of truth,
+each benchmark query is described once as a :class:`QuerySpec` that
+
+* renders to SQL (flat queries) or to the comprehension syntax (unnest
+  queries) for Proteus, and
+* is interpreted directly by the baseline engines in
+  :mod:`repro.baselines`.
+
+The specification language covers exactly the query shapes of the paper's
+evaluation: conjunctive filters, aggregate or field projections, one optional
+equi-join, one optional unnest of a nested collection, and an optional
+GROUP BY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+FieldPath = tuple[str, ...]
+
+COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "!=")
+AGGREGATES = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A dataset participating in the query, with its alias."""
+
+    dataset: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A conjunctive filter ``alias.path op value``."""
+
+    alias: str
+    path: FieldPath
+    op: str
+    value: object
+
+    def field_text(self) -> str:
+        return f"{self.alias}.{'.'.join(self.path)}"
+
+
+@dataclass(frozen=True)
+class ProjectionSpec:
+    """An output column: either a plain field or an aggregate over a field."""
+
+    output: str
+    alias: str | None = None
+    path: FieldPath = ()
+    aggregate: str | None = None  # None means a plain field projection
+
+    def field_text(self) -> str:
+        if self.alias is None:
+            return "*"
+        return f"{self.alias}.{'.'.join(self.path)}"
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """An equi-join between two aliases."""
+
+    left_alias: str
+    left_path: FieldPath
+    right_alias: str
+    right_path: FieldPath
+
+
+@dataclass(frozen=True)
+class UnnestSpec:
+    """Unnest a nested collection of ``parent_alias`` into ``alias``."""
+
+    parent_alias: str
+    path: FieldPath
+    alias: str
+
+
+@dataclass(frozen=True)
+class GroupBySpec:
+    """A grouping key."""
+
+    alias: str
+    path: FieldPath
+
+    def field_text(self) -> str:
+        return f"{self.alias}.{'.'.join(self.path)}"
+
+
+@dataclass
+class QuerySpec:
+    """A complete benchmark query."""
+
+    name: str
+    tables: list[TableRef]
+    projections: list[ProjectionSpec]
+    filters: list[FilterSpec] = field(default_factory=list)
+    joins: list[JoinSpec] = field(default_factory=list)
+    unnest: UnnestSpec | None = None
+    group_by: list[GroupBySpec] = field(default_factory=list)
+
+    # -- rendering for Proteus ------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render the query for the Proteus engine (SQL, or comprehension
+        syntax when the query unnests a collection)."""
+        if self.unnest is not None:
+            return self.to_comprehension()
+        return self.to_sql()
+
+    def to_sql(self) -> str:
+        select_parts = []
+        for projection in self.projections:
+            if projection.aggregate is None:
+                select_parts.append(f"{projection.field_text()} AS {projection.output}")
+            elif projection.aggregate == "count" and projection.alias is None:
+                select_parts.append(f"COUNT(*) AS {projection.output}")
+            else:
+                select_parts.append(
+                    f"{projection.aggregate.upper()}({projection.field_text()}) "
+                    f"AS {projection.output}"
+                )
+        sql = "SELECT " + ", ".join(select_parts)
+        first = self.tables[0]
+        sql += f" FROM {first.dataset} {first.alias}"
+        joined_aliases = {first.alias}
+        for table in self.tables[1:]:
+            join = self._join_for(table.alias, joined_aliases)
+            if join is None:
+                sql += f", {table.dataset} {table.alias}"
+            else:
+                left = f"{join.left_alias}.{'.'.join(join.left_path)}"
+                right = f"{join.right_alias}.{'.'.join(join.right_path)}"
+                sql += f" JOIN {table.dataset} {table.alias} ON {left} = {right}"
+            joined_aliases.add(table.alias)
+        if self.filters:
+            sql += " WHERE " + " AND ".join(
+                f"{f.field_text()} {f.op} {_literal(f.value)}" for f in self.filters
+            )
+        if self.group_by:
+            sql += " GROUP BY " + ", ".join(g.field_text() for g in self.group_by)
+        return sql
+
+    def to_comprehension(self) -> str:
+        """Render as a comprehension (required for unnest queries)."""
+        qualifiers = []
+        for table in self.tables:
+            qualifiers.append(f"{table.alias} <- {table.dataset}")
+            if self.unnest is not None and self.unnest.parent_alias == table.alias:
+                path = ".".join(self.unnest.path)
+                qualifiers.append(f"{self.unnest.alias} <- {table.alias}.{path}")
+        for join in self.joins:
+            left = f"{join.left_alias}.{'.'.join(join.left_path)}"
+            right = f"{join.right_alias}.{'.'.join(join.right_path)}"
+            qualifiers.append(f"{left} = {right}")
+        for filt in self.filters:
+            qualifiers.append(f"{filt.field_text()} {filt.op} {_literal(filt.value)}")
+        body = "for { " + ", ".join(qualifiers) + " }"
+        if self.group_by:
+            raise ValueError(
+                "group-by unnest queries are rendered via SQL in this reproduction"
+            )
+        if len(self.projections) == 1 and self.projections[0].aggregate is not None:
+            projection = self.projections[0]
+            if projection.aggregate == "count" and projection.alias is None:
+                return body + " yield count"
+            return body + f" yield {projection.aggregate} ({projection.field_text()})"
+        columns = ", ".join(
+            f"{p.field_text()} as {p.output}" for p in self.projections
+        )
+        return body + f" yield bag ({columns})"
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _join_for(self, alias: str, joined: set[str]) -> JoinSpec | None:
+        for join in self.joins:
+            if join.right_alias == alias and join.left_alias in joined:
+                return join
+            if join.left_alias == alias and join.right_alias in joined:
+                return JoinSpec(join.right_alias, join.right_path,
+                                join.left_alias, join.left_path)
+        return None
+
+    def aliases(self) -> list[str]:
+        names = [table.alias for table in self.tables]
+        if self.unnest is not None:
+            names.append(self.unnest.alias)
+        return names
+
+    def datasets(self) -> list[str]:
+        return [table.dataset for table in self.tables]
+
+    def is_aggregate(self) -> bool:
+        return any(p.aggregate is not None for p in self.projections)
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "") + "'"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value)
+
+
+def count_star(output: str = "cnt") -> ProjectionSpec:
+    """Convenience: a COUNT(*) projection."""
+    return ProjectionSpec(output=output, alias=None, path=(), aggregate="count")
+
+
+def agg(func: str, alias: str, *path: str, output: str | None = None) -> ProjectionSpec:
+    """Convenience: an aggregate projection over ``alias.path``."""
+    name = output or f"{func}_{'_'.join(path)}"
+    return ProjectionSpec(output=name, alias=alias, path=tuple(path), aggregate=func)
+
+
+def col(alias: str, *path: str, output: str | None = None) -> ProjectionSpec:
+    """Convenience: a plain field projection."""
+    name = output or path[-1]
+    return ProjectionSpec(output=name, alias=alias, path=tuple(path), aggregate=None)
+
+
+def filt(alias: str, path: str | Sequence[str], op: str, value: object) -> FilterSpec:
+    """Convenience: a filter over a (possibly dotted) field path."""
+    parts = tuple(path.split(".")) if isinstance(path, str) else tuple(path)
+    return FilterSpec(alias=alias, path=parts, op=op, value=value)

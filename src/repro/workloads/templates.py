@@ -1,0 +1,148 @@
+"""Query templates of the TPC-H micro-benchmarks (§7.1, Figures 5–13).
+
+Each figure of the synthetic evaluation instantiates one of four templates at
+selectivities 10 %, 20 %, 50 % and 100 %:
+
+* **projections** — ``SELECT AGG(val1),...,AGG(valN) FROM lineitem WHERE
+  l_orderkey < X`` with variants computing COUNT, MAX, and four aggregates,
+* **selections** — ``SELECT COUNT(*) FROM lineitem WHERE val1<X AND ...`` with
+  one, three and four predicates,
+* **joins** — ``SELECT AGG(o.val1),... FROM orders JOIN lineitem ON
+  o_orderkey = l_orderkey WHERE l_orderkey < X`` with COUNT / MAX / two
+  aggregates, plus an unnest variant over denormalized JSON,
+* **group-bys** — ``SELECT AGG(val1),... FROM lineitem WHERE l_orderkey < X
+  GROUP BY l_linenumber`` with one, three and four aggregates.
+
+The selectivity is controlled through the ``l_orderkey < X`` bound
+(``l_orderkey`` is uniform over the order keys); additional predicates are
+non-selective but still evaluated, matching the paper's intent of measuring
+per-predicate evaluation cost.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.query_spec import (
+    GroupBySpec,
+    JoinSpec,
+    QuerySpec,
+    TableRef,
+    UnnestSpec,
+    agg,
+    col,
+    count_star,
+    filt,
+)
+
+SELECTIVITIES = (0.1, 0.2, 0.5, 1.0)
+
+PROJECTION_VARIANTS = ("count", "max", "4agg")
+SELECTION_VARIANTS = (1, 3, 4)
+JOIN_VARIANTS = ("count", "max", "2agg")
+GROUPBY_VARIANTS = (1, 3, 4)
+
+
+def projection_query(
+    dataset: str, threshold: int, variant: str, selectivity: float
+) -> QuerySpec:
+    """Figure 5/6 template: aggregate projections over lineitem."""
+    table = TableRef(dataset, "l")
+    filters = [filt("l", "l_orderkey", "<", threshold)]
+    if variant == "count":
+        projections = [count_star()]
+    elif variant == "max":
+        projections = [agg("max", "l", "l_extendedprice")]
+    elif variant == "4agg":
+        projections = [
+            count_star(),
+            agg("max", "l", "l_extendedprice"),
+            agg("max", "l", "l_quantity"),
+            count_star(output="cnt2"),
+        ]
+    else:
+        raise ValueError(f"unknown projection variant {variant!r}")
+    return QuerySpec(
+        name=f"projection_{variant}_{int(selectivity * 100)}",
+        tables=[table],
+        projections=projections,
+        filters=filters,
+    )
+
+
+def selection_query(
+    dataset: str, threshold: int, num_predicates: int, selectivity: float
+) -> QuerySpec:
+    """Figure 7/8 template: COUNT under one to four predicates."""
+    table = TableRef(dataset, "l")
+    filters = [filt("l", "l_orderkey", "<", threshold)]
+    extra = [
+        filt("l", "l_quantity", "<", 51.0),
+        filt("l", "l_discount", "<", 1.0),
+        filt("l", "l_tax", "<", 1.0),
+    ]
+    filters.extend(extra[: max(num_predicates - 1, 0)])
+    return QuerySpec(
+        name=f"selection_{num_predicates}pred_{int(selectivity * 100)}",
+        tables=[table],
+        projections=[count_star()],
+        filters=filters,
+    )
+
+
+def join_query(
+    orders_dataset: str,
+    lineitem_dataset: str,
+    threshold: int,
+    variant: str,
+    selectivity: float,
+) -> QuerySpec:
+    """Figure 9/10 template: orders ⋈ lineitem with aggregate output."""
+    orders = TableRef(orders_dataset, "o")
+    lineitem = TableRef(lineitem_dataset, "l")
+    if variant == "count":
+        projections = [count_star()]
+    elif variant == "max":
+        projections = [agg("max", "o", "o_totalprice")]
+    elif variant == "2agg":
+        projections = [count_star(), agg("max", "o", "o_totalprice")]
+    else:
+        raise ValueError(f"unknown join variant {variant!r}")
+    return QuerySpec(
+        name=f"join_{variant}_{int(selectivity * 100)}",
+        tables=[orders, lineitem],
+        projections=projections,
+        filters=[filt("l", "l_orderkey", "<", threshold)],
+        joins=[JoinSpec("o", ("o_orderkey",), "l", ("l_orderkey",))],
+    )
+
+
+def unnest_query(denormalized_dataset: str, threshold: int, selectivity: float) -> QuerySpec:
+    """Figure 9 "Unnest" template: count lineitems embedded in order objects."""
+    orders = TableRef(denormalized_dataset, "o")
+    return QuerySpec(
+        name=f"unnest_count_{int(selectivity * 100)}",
+        tables=[orders],
+        projections=[count_star()],
+        filters=[filt("li", "l_orderkey", "<", threshold)],
+        unnest=UnnestSpec("o", ("lineitems",), "li"),
+    )
+
+
+def groupby_query(
+    dataset: str, threshold: int, num_aggregates: int, selectivity: float
+) -> QuerySpec:
+    """Figure 11/12 template: GROUP BY l_linenumber with 1/3/4 aggregates."""
+    table = TableRef(dataset, "l")
+    projections = [col("l", "l_linenumber"), count_star()]
+    extra = [
+        agg("max", "l", "l_extendedprice"),
+        agg("max", "l", "l_quantity"),
+        agg("sum", "l", "l_discount"),
+    ]
+    projections.extend(extra[: max(num_aggregates - 1, 0)])
+    return QuerySpec(
+        name=f"groupby_{num_aggregates}agg_{int(selectivity * 100)}",
+        tables=[table],
+        projections=projections,
+        filters=[filt("l", "l_orderkey", "<", threshold)],
+        group_by=[GroupBySpec("l", ("l_linenumber",))],
+    )

@@ -1,0 +1,219 @@
+"""Tests of the simulated comparator systems: each engine must produce correct
+results (they are honest engines, just architecturally constrained) and must
+exhibit the architectural properties the paper attributes to it."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DbmsCLikeEngine,
+    DbmsXLikeEngine,
+    FederatedEngine,
+    MongoLikeEngine,
+    MonetLikeEngine,
+    PostgresLikeEngine,
+)
+from repro.errors import UnsupportedFeatureError
+from repro.workloads.query_spec import (
+    FilterSpec,
+    GroupBySpec,
+    JoinSpec,
+    QuerySpec,
+    TableRef,
+    UnnestSpec,
+    agg,
+    col,
+    count_star,
+    filt,
+)
+
+from tests.conftest import expected_items, expected_orders
+
+ROW_ENGINES = [PostgresLikeEngine, DbmsXLikeEngine]
+COLUMN_ENGINES = [MonetLikeEngine, DbmsCLikeEngine]
+ALL_RELATIONAL = ROW_ENGINES + COLUMN_ENGINES
+
+
+def _count_spec(threshold=5):
+    return QuerySpec(
+        "count_q",
+        [TableRef("items", "i")],
+        [count_star()],
+        [filt("i", "qty", "<", threshold)],
+    )
+
+
+def _agg_spec():
+    return QuerySpec(
+        "agg_q",
+        [TableRef("items", "i")],
+        [agg("max", "i", "price"), agg("sum", "i", "qty"), count_star()],
+        [filt("i", "id", "<", 60)],
+    )
+
+
+def _group_spec():
+    return QuerySpec(
+        "group_q",
+        [TableRef("items", "i")],
+        [col("i", "qty"), count_star(), agg("max", "i", "price")],
+        [filt("i", "id", "<", 100)],
+        group_by=[GroupBySpec("i", ("qty",))],
+    )
+
+
+def _expected_count(threshold=5):
+    return sum(1 for row in expected_items() if row["qty"] < threshold)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_RELATIONAL)
+def test_csv_count_and_aggregates(engine_cls, paths):
+    engine = engine_cls()
+    engine.load_csv("items", paths["items_csv"])
+    assert engine.execute(_count_spec())[0][0] == _expected_count()
+    rows = [r for r in expected_items() if r["id"] < 60]
+    result = engine.execute(_agg_spec())[0]
+    assert result[0] == pytest.approx(max(r["price"] for r in rows))
+    assert result[1] == pytest.approx(sum(r["qty"] for r in rows))
+    assert result[2] == len(rows)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_RELATIONAL)
+def test_group_by(engine_cls, paths):
+    engine = engine_cls()
+    engine.load_csv("items", paths["items_csv"])
+    result = engine.execute(_group_spec())
+    reference = {}
+    for row in expected_items():
+        if row["id"] < 100:
+            entry = reference.setdefault(row["qty"], [0, 0.0])
+            entry[0] += 1
+            entry[1] = max(entry[1], row["price"])
+    assert len(result) == len(reference)
+    for qty, count, max_price in result:
+        assert count == reference[qty][0]
+        assert max_price == pytest.approx(reference[qty][1])
+
+
+@pytest.mark.parametrize("engine_cls", ALL_RELATIONAL)
+def test_binary_join(engine_cls, paths):
+    engine = engine_cls()
+    table = {
+        "id": np.asarray([row["id"] for row in expected_items()]),
+        "qty": np.asarray([row["qty"] for row in expected_items()]),
+        "price": np.asarray([row["price"] for row in expected_items()]),
+    }
+    engine.load_columns("items_bin", table)
+    engine.load_csv("items", paths["items_csv"])
+    spec = QuerySpec(
+        "join_q",
+        [TableRef("items_bin", "b"), TableRef("items", "i")],
+        [agg("sum", "b", "price")],
+        [filt("i", "qty", "<", 5)],
+        joins=[JoinSpec("b", ("id",), "i", ("id",))],
+    )
+    expected = sum(row["price"] for row in expected_items() if row["qty"] < 5)
+    assert engine.execute(spec)[0][0] == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("engine_cls", ROW_ENGINES + [MongoLikeEngine])
+def test_json_queries_row_engines(engine_cls, paths):
+    engine = engine_cls()
+    engine.load_json("orders", paths["orders_json"])
+    spec = QuerySpec(
+        "json_count",
+        [TableRef("orders", "o")],
+        [count_star()],
+        [filt("o", ("origin", "country"), "=", "CH")],
+    )
+    expected = sum(1 for o in expected_orders() if o["origin"]["country"] == "CH")
+    assert engine.execute(spec)[0][0] == expected
+
+
+@pytest.mark.parametrize("engine_cls", ROW_ENGINES + [MongoLikeEngine])
+def test_json_unnest(engine_cls, paths):
+    engine = engine_cls()
+    engine.load_json("orders", paths["orders_json"])
+    spec = QuerySpec(
+        "json_unnest",
+        [TableRef("orders", "o")],
+        [count_star()],
+        [filt("u", "qty", ">", 1)],
+        unnest=UnnestSpec("o", ("lines",), "u"),
+    )
+    expected = sum(
+        1 for order in expected_orders() for line in order["lines"] if line["qty"] > 1
+    )
+    assert engine.execute(spec)[0][0] == expected
+
+
+def test_mongo_rejects_non_json(paths):
+    engine = MongoLikeEngine()
+    with pytest.raises(UnsupportedFeatureError):
+        engine.load_csv("items", paths["items_csv"])
+    with pytest.raises(UnsupportedFeatureError):
+        engine.load_columns("items", {"a": [1]})
+
+
+def test_dbms_c_sorts_and_skips(paths):
+    engine = DbmsCLikeEngine()
+    engine.load_csv("items", paths["items_csv"])
+    # The first numeric column (id) becomes the sort key.
+    positions = engine.filtered_positions("items", [FilterSpec("i", ("id",), "<", 10)])
+    assert len(positions) == 10
+    assert engine._sort_keys["items"] == "id"
+
+
+def test_dbms_c_dictionary_encodes_strings(paths):
+    engine = DbmsCLikeEngine()
+    engine.load_csv("items", paths["items_csv"])
+    assert "category" in engine._dictionaries["items"]
+    decoded = engine.column("items", ("category",))
+    assert set(decoded) == {"cat0", "cat1", "cat2", "cat3"}
+
+
+def test_postgres_nested_loop_on_document_joins():
+    engine = PostgresLikeEngine()
+    assert engine.hash_join_on_document_fields is False
+
+
+def test_dbms_x_reparses_json_per_access(paths):
+    engine = DbmsXLikeEngine()
+    engine.load_json("orders", paths["orders_json"])
+    rows = list(engine.table_rows("orders"))
+    assert isinstance(rows[0], str)  # character-based encoding
+    assert engine.row_value("orders", rows[3], ("origin", "zone")) == 0
+
+
+def test_load_reports_track_time_and_rows(paths):
+    engine = PostgresLikeEngine()
+    report = engine.load_csv("items", paths["items_csv"])
+    assert report.rows == len(expected_items())
+    assert engine.total_load_seconds >= report.seconds > 0
+
+
+def test_federated_routes_and_mediates(paths):
+    federated = FederatedEngine()
+    federated.load_csv("items", paths["items_csv"])
+    federated.load_json("orders", paths["orders_json"])
+    # Single-system query goes straight to the owning engine.
+    assert federated.execute(_count_spec())[0][0] == _expected_count()
+    assert federated.middleware_seconds == 0.0
+    # Cross-system query goes through the middleware.
+    spec = QuerySpec(
+        "cross",
+        [TableRef("items", "i"), TableRef("orders", "o")],
+        [count_star(), agg("sum", "o", "total")],
+        [filt("i", "qty", "<", 5)],
+        joins=[JoinSpec("i", ("id",), "o", ("okey",))],
+    )
+    items = {row["id"]: row for row in expected_items()}
+    orders = expected_orders()
+    expected_pairs = [
+        (items[o["okey"]], o) for o in orders
+        if o["okey"] in items and items[o["okey"]]["qty"] < 5
+    ]
+    result = federated.execute(spec)[0]
+    assert result[0] == len(expected_pairs)
+    assert result[1] == pytest.approx(sum(o["total"] for _, o in expected_pairs))
+    assert federated.middleware_seconds > 0.0

@@ -1,0 +1,100 @@
+"""Integration tests of the benchmark harness (adapters, runner, reporting).
+
+These run the actual experiment drivers at very small scales; the full-size
+runs live under ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import data as bench_data
+from repro.bench import experiments
+from repro.bench.reporting import ExperimentReport, format_matrix, format_totals
+from repro.bench.systems import BaselineAdapter, ProteusAdapter, results_match
+from repro.baselines import PostgresLikeEngine
+from repro.workloads import templates
+
+
+def test_results_match_helper():
+    assert results_match([(1, 2.0)], [(1.0, 2.0)])
+    assert results_match([(1,), (2,)], [(2,), (1,)])
+    assert not results_match([(1,)], [(1,), (2,)])
+    assert not results_match([(1.0,)], [(1.5,)])
+
+
+def test_proteus_and_baseline_adapters_agree_on_binary_projection():
+    files = bench_data.tpch_files(scale=0.05)
+    threshold = files.tables.orderkey_threshold(0.5)
+    spec = templates.projection_query("lineitem", threshold, "max", 0.5)
+
+    proteus = ProteusAdapter()
+    proteus.attach_binary_columns("lineitem", files.lineitem_columns)
+    baseline = BaselineAdapter(PostgresLikeEngine())
+    baseline.attach_binary_columns("lineitem", files.lineitem_columns)
+
+    proteus_result = proteus.run(spec)
+    baseline_result = baseline.run(spec)
+    assert results_match(proteus_result.result, baseline_result.result)
+    assert proteus_result.seconds > 0 and baseline_result.seconds > 0
+
+
+def test_baseline_adapter_skips_unsupported_datasets():
+    files = bench_data.tpch_files(scale=0.05)
+    from repro.baselines import MongoLikeEngine
+
+    mongo = BaselineAdapter(MongoLikeEngine())
+    mongo.attach_csv("lineitem_csv", files.lineitem_csv)  # silently unsupported
+    spec = templates.projection_query("lineitem_csv", 10, "count", 0.1)
+    assert not mongo.supports(spec)
+
+
+def test_figure6_experiment_tiny_scale():
+    report = experiments.figure6(
+        scale=0.05, systems=(experiments.POSTGRES, experiments.DBMS_C, experiments.PROTEUS)
+    )
+    assert isinstance(report, ExperimentReport)
+    # 3 variants x 4 selectivities per system
+    assert len([m for m in report.measurements if m.system == "proteus"]) == 12
+    assert not report.notes, report.notes  # results cross-validated
+    text = format_matrix(report, sorted({m.query for m in report.measurements}),
+                         ["postgres_like", "dbms_c_like", "proteus"])
+    assert "proteus" in text
+    totals = format_totals(report, ["postgres_like", "proteus"])
+    assert "postgres_like" in totals
+
+
+def test_row_store_slower_than_proteus_at_moderate_scale():
+    # The comparative shape (per-tuple interpreted row store slower than the
+    # generated engine) needs enough rows to amortize Proteus' fixed per-query
+    # planning/compilation cost; the full-size runs live under benchmarks/.
+    report = experiments.figure6(
+        scale=0.5, systems=(experiments.POSTGRES, experiments.PROTEUS)
+    )
+    assert report.total_seconds("postgres_like") > report.total_seconds("proteus")
+
+
+def test_figure9_unnest_subset_tiny_scale():
+    report = experiments.figure9(
+        scale=0.05, systems=(experiments.POSTGRES, experiments.MONGO, experiments.PROTEUS)
+    )
+    mongo_queries = {m.query for m in report.measurements if m.system == "mongo_like"}
+    # MongoDB only runs the first join variant and the unnest queries.
+    assert mongo_queries
+    assert all(q.startswith(("join_count", "unnest")) for q in mongo_queries)
+    assert not report.notes, report.notes
+
+
+def test_index_construction_experiment():
+    result = experiments.index_construction(scale=0.05)
+    assert 0 < result.index_ratio < 1.0
+    assert result.mongo_load_seconds > 0
+    assert result.index_bytes < result.file_bytes
+
+
+def test_ablation_codegen_runs():
+    ablation = experiments.ablation_codegen(scale=0.05)
+    assert ablation.baseline_seconds > 0 and ablation.variant_seconds > 0
+
+
+def test_ablation_csv_stride_monotonic():
+    sizes = experiments.ablation_csv_stride(scale=0.05, strides=(1, 10))
+    assert sizes[1] > sizes[10]

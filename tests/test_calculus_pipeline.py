@@ -1,0 +1,195 @@
+"""Unit tests for the binder, normalizer and calculus → algebra translator."""
+
+import pytest
+
+from repro.core import types as t
+from repro.core.algebra import Join, Nest, Reduce, Scan, Select, Unnest
+from repro.core.binder import bind_comprehension
+from repro.core.calculus import (
+    Comprehension,
+    DatasetSource,
+    Filter,
+    Generator,
+    PathSource,
+)
+from repro.core.comprehension_parser import parse_comprehension
+from repro.core.expressions import (
+    AggregateCall,
+    BinaryOp,
+    FieldRef,
+    Literal,
+    OutputColumn,
+)
+from repro.core.normalizer import fold_constants, normalize
+from repro.core.sql_parser import parse_sql
+from repro.core.translator import translate
+from repro.errors import SchemaError, TranslationError
+
+CATALOG = {
+    "items": t.make_schema({"id": "int", "qty": "int", "price": "float", "category": "string"}),
+    "orders": t.make_schema(
+        {"okey": "int", "total": "float", "origin": {"country": "string"},
+         "lines": [{"item": "int", "qty": "int"}]}
+    ),
+}
+
+
+def bound(sql: str) -> Comprehension:
+    return bind_comprehension(parse_sql(sql), CATALOG)
+
+
+# -- binder ---------------------------------------------------------------------
+
+
+def test_binder_resolves_unqualified_columns():
+    comp = bound("SELECT qty FROM items WHERE price < 10")
+    assert comp.head[0].expression.binding == "items"
+    assert comp.filters()[0].predicate.left.binding == "items"
+
+
+def test_binder_resolves_alias_qualified_columns():
+    comp = bound("SELECT i.qty FROM items i")
+    assert comp.head[0].expression == FieldRef("i", ("qty",))
+
+
+def test_binder_expands_star():
+    comp = bound("SELECT * FROM items")
+    assert [c.name for c in comp.head] == ["id", "qty", "price", "category"]
+
+
+def test_binder_rejects_unknown_and_ambiguous():
+    with pytest.raises(SchemaError):
+        bound("SELECT missing FROM items")
+    with pytest.raises(SchemaError):
+        bind_comprehension(
+            parse_sql("SELECT qty FROM items, orders o"),
+            {"items": CATALOG["items"],
+             "orders": t.make_schema({"qty": "int"})},
+        )
+
+
+def test_binder_nested_paths():
+    comp = bound("SELECT origin.country FROM orders")
+    assert comp.head[0].expression == FieldRef("orders", ("origin", "country"))
+
+
+# -- normalizer --------------------------------------------------------------------
+
+
+def test_normalize_splits_and_pushes_filters():
+    comp = bound(
+        "SELECT COUNT(*) FROM items i JOIN orders o ON i.id = o.okey "
+        "WHERE i.qty < 5 AND o.total > 10"
+    )
+    normalized = normalize(comp)
+    qualifiers = normalized.qualifiers
+    # The filter on i must appear right after i's generator, before o's.
+    generator_positions = {
+        q.var: index for index, q in enumerate(qualifiers) if isinstance(q, Generator)
+    }
+    filter_positions = [
+        (index, q) for index, q in enumerate(qualifiers) if isinstance(q, Filter)
+    ]
+    i_filter = next(
+        index for index, q in filter_positions
+        if q.predicate.bindings() == {"i"}
+    )
+    assert generator_positions["i"] < i_filter < generator_positions["o"]
+
+
+def test_normalize_drops_trivially_true_filters():
+    comp = Comprehension(
+        monoid="bag",
+        head=[OutputColumn("id", FieldRef("i", ("id",)))],
+        qualifiers=[
+            Generator("i", DatasetSource("items")),
+            Filter(Literal(True)),
+        ],
+    )
+    normalized = normalize(comp)
+    assert normalized.filters() == []
+
+
+def test_fold_constants():
+    expr = BinaryOp("+", Literal(1), Literal(2))
+    assert fold_constants(expr) == Literal(3)
+    boolean = BinaryOp("and", Literal(True), BinaryOp("<", FieldRef("i", ("x",)), Literal(3)))
+    folded = fold_constants(boolean)
+    assert isinstance(folded, BinaryOp) and folded.op == "<"
+    assert fold_constants(BinaryOp("or", Literal(True), FieldRef("i", ("x",)))) == Literal(True)
+
+
+# -- translator -----------------------------------------------------------------------
+
+
+def test_translate_projection():
+    plan = translate(normalize(bound("SELECT qty FROM items WHERE price < 10")))
+    assert isinstance(plan, Reduce)
+    assert isinstance(plan.child, Select)
+    assert isinstance(plan.child.child, Scan)
+
+
+def test_translate_join_produces_cartesian_plus_select():
+    plan = translate(normalize(bound(
+        "SELECT COUNT(*) FROM items i JOIN orders o ON i.id = o.okey"
+    )))
+    assert isinstance(plan, Reduce)
+    select = plan.child
+    assert isinstance(select, Select)
+    assert isinstance(select.child, Join)
+
+
+def test_translate_group_by():
+    plan = translate(normalize(bound(
+        "SELECT qty, COUNT(*) FROM items GROUP BY qty"
+    )))
+    assert isinstance(plan, Nest)
+    assert len(plan.group_by) == 1
+
+
+def test_translate_unnest():
+    comp = parse_comprehension(
+        "for { o <- orders, l <- o.lines, l.qty > 1 } yield count"
+    )
+    plan = translate(normalize(bind_comprehension(comp, CATALOG)))
+    assert isinstance(plan, Reduce)
+    operators = [type(node).__name__ for node in plan.walk()]
+    assert "Unnest" in operators
+
+
+def test_translate_rejects_mixed_aggregates_without_group_by():
+    with pytest.raises(TranslationError):
+        translate(normalize(bound("SELECT qty, COUNT(*) FROM items")))
+
+
+def test_translate_rejects_filter_before_generator():
+    comp = Comprehension(
+        monoid="bag",
+        head=[OutputColumn("x", Literal(1))],
+        qualifiers=[Filter(Literal(True)), Generator("i", DatasetSource("items"))],
+    )
+    with pytest.raises(TranslationError):
+        translate(comp)
+
+
+def test_comprehension_validate_rejects_duplicate_vars():
+    comp = Comprehension(
+        monoid="bag",
+        head=[OutputColumn("x", Literal(1))],
+        qualifiers=[
+            Generator("i", DatasetSource("items")),
+            Generator("i", DatasetSource("orders")),
+        ],
+    )
+    with pytest.raises(TranslationError):
+        comp.validate()
+
+
+def test_algebra_pretty_and_fingerprints():
+    plan = translate(normalize(bound("SELECT qty FROM items WHERE price < 10")))
+    text = plan.pretty()
+    assert "Reduce" in text and "Scan" in text
+    same = translate(normalize(bound("SELECT qty FROM items WHERE price < 10")))
+    assert plan.fingerprint() == same.fingerprint()
+    different = translate(normalize(bound("SELECT qty FROM items WHERE price < 20")))
+    assert plan.fingerprint() != different.fingerprint()

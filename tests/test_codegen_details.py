@@ -1,0 +1,205 @@
+"""Unit tests for the code-generation machinery: context, expression
+generators, compiler, runtime helpers and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate_utils import literal_results, replace_aggregates
+from repro.core.codegen.compiler import compile_query
+from repro.core.codegen.context import CodegenContext
+from repro.core.codegen.expr_gen import generate_expression, supported_by_codegen
+from repro.core.codegen.runtime import ExecutionProfile, QueryRuntime
+from repro.core.expressions import (
+    AggregateCall,
+    BinaryOp,
+    FieldRef,
+    IfThenElse,
+    Literal,
+    RecordConstruct,
+    UnaryOp,
+)
+from repro.errors import CodegenError
+from repro.caching.manager import CacheManager
+from repro.caching.matching import field_cache_key
+from repro.core import types as t
+from repro.plugins.json_plugin import JsonPlugin
+from repro.storage.catalog import Catalog, DataFormat, Dataset
+from repro.storage.memory import MemoryManager
+
+from tests.conftest import ORDERS_SCHEMA, ITEM_COUNT, ITEMS_SCHEMA
+
+
+# -- codegen context ------------------------------------------------------------
+
+
+def test_context_emits_and_indents():
+    ctx = CodegenContext()
+    ctx.emit("x = 1")
+    ctx.push()
+    ctx.emit("y = 2")
+    ctx.pop()
+    source = ctx.source()
+    assert "def __query__(rt):" in source
+    assert "    x = 1" in source
+    assert "        y = 2" in source
+    with pytest.raises(ValueError):
+        ctx.pop()
+
+
+def test_context_fresh_names_and_constants():
+    ctx = CodegenContext()
+    first = ctx.fresh("col_a")
+    second = ctx.fresh("col_a")
+    assert first != second
+    payload = object()
+    name_one = ctx.register_constant("plugin", payload)
+    name_two = ctx.register_constant("plugin", payload)
+    assert name_one == name_two  # same object registered once
+    assert ctx.constants[name_one] is payload
+
+
+def test_context_empty_body_compiles():
+    ctx = CodegenContext()
+    generated = compile_query(ctx)
+    assert generated(None) is None
+
+
+# -- expression generation ----------------------------------------------------------
+
+
+BUFFERS = {("l", ("a",)): "col_a", ("l", ("b",)): "col_b"}
+
+
+def test_generate_expression_arithmetic_and_comparison():
+    expr = BinaryOp("<", BinaryOp("+", FieldRef("l", ("a",)), Literal(1)),
+                    FieldRef("l", ("b",)))
+    text = generate_expression(expr, BUFFERS)
+    assert text == "(((col_a + 1)) < (col_b))" or "col_a" in text
+    namespace = {"col_a": np.asarray([1, 5]), "col_b": np.asarray([3, 3]), "np": np}
+    result = eval(text, namespace)  # noqa: S307 - controlled test input
+    assert list(result) == [True, False]
+
+
+def test_generate_expression_logic_and_where():
+    expr = BinaryOp("and",
+                    BinaryOp(">", FieldRef("l", ("a",)), Literal(0)),
+                    UnaryOp("not", BinaryOp("=", FieldRef("l", ("b",)), Literal(3))))
+    text = generate_expression(expr, BUFFERS)
+    namespace = {"col_a": np.asarray([1, 2]), "col_b": np.asarray([3, 4]), "np": np}
+    assert list(eval(text, namespace)) == [False, True]  # noqa: S307
+    conditional = IfThenElse(BinaryOp(">", FieldRef("l", ("a",)), Literal(1)),
+                             Literal(10), Literal(20))
+    text = generate_expression(conditional, BUFFERS)
+    assert list(eval(text, namespace)) == [20, 10]  # noqa: S307
+
+
+def test_generate_expression_errors():
+    with pytest.raises(CodegenError):
+        generate_expression(FieldRef("x", ("missing",)), BUFFERS)
+    with pytest.raises(CodegenError):
+        generate_expression(AggregateCall("count"), BUFFERS)
+    with pytest.raises(CodegenError):
+        generate_expression(RecordConstruct({"a": Literal(1)}), BUFFERS)
+
+
+def test_supported_by_codegen():
+    assert supported_by_codegen(BinaryOp("+", Literal(1), FieldRef("l", ("a",))))
+    assert not supported_by_codegen(RecordConstruct({"a": Literal(1)}))
+
+
+# -- aggregate substitution -------------------------------------------------------------
+
+
+def test_replace_aggregates():
+    total = AggregateCall("sum", FieldRef("l", ("a",)))
+    count = AggregateCall("count")
+    expr = BinaryOp("/", total, count)
+    replaced = replace_aggregates(expr, literal_results({
+        total.fingerprint(): 10.0, count.fingerprint(): 4,
+    }))
+    assert replaced.evaluate({}) == pytest.approx(2.5)
+    with pytest.raises(KeyError):
+        replace_aggregates(expr, {})
+
+
+# -- runtime ------------------------------------------------------------------------------
+
+
+def _runtime_with_json(paths):
+    memory = MemoryManager()
+    catalog = Catalog()
+    dataset = Dataset("orders", DataFormat.JSON, paths["orders_json"], ORDERS_SCHEMA)
+    catalog.register(dataset)
+    plugin = JsonPlugin(memory)
+    manager = CacheManager(memory.arena)
+    runtime = QueryRuntime(catalog, {DataFormat.JSON: plugin}, manager)
+    return runtime, plugin, dataset, manager
+
+
+def test_runtime_scan_populates_and_reuses_cache(paths):
+    runtime, plugin, dataset, manager = _runtime_with_json(paths)
+    buffers = runtime.scan(plugin, dataset, [("okey",), ("total",)])
+    assert buffers.count > 0
+    assert manager.peek(field_cache_key("orders", ("okey",))) is not None
+    extracted_before = runtime.profile.values_extracted
+    again = runtime.scan(plugin, dataset, [("okey",)])
+    assert np.array_equal(again.column(("okey",)), buffers.column(("okey",)))
+    assert runtime.profile.values_extracted == extracted_before  # served from cache
+    assert runtime.profile.values_from_cache > 0
+
+
+def test_runtime_scan_selected_prefers_cache_and_never_stores(paths):
+    runtime, plugin, dataset, manager = _runtime_with_json(paths)
+    runtime.scan(plugin, dataset, [("okey",)])
+    stores_before = manager.stats.stores
+    selected = runtime.scan_selected(plugin, dataset, [("okey",), ("total",)],
+                                     np.asarray([1, 3, 5]))
+    assert list(selected.column(("okey",))) == [1, 3, 5]
+    assert len(selected.column(("total",))) == 3
+    # Selective extractions are not admitted to the cache.
+    assert manager.peek(field_cache_key("orders", ("total",))) is None
+    assert manager.stats.stores == stores_before
+
+
+def test_runtime_join_group_helpers():
+    runtime = QueryRuntime(Catalog(), {})
+    left = np.asarray([1, 2, 3, 3])
+    right = np.asarray([3, 1, 5])
+    li, ri = runtime.radix_join(left, right)
+    assert sorted(zip(li.tolist(), ri.tolist())) == [(0, 1), (2, 0), (3, 0)]
+    cross_left, cross_right = runtime.cross_product(2, 3)
+    assert len(cross_left) == 6 and len(cross_right) == 6
+    grouping = runtime.radix_group([np.asarray([1, 1, 2])])
+    counts = runtime.group_agg("count", grouping.group_ids, grouping.num_groups)
+    assert sorted(counts.tolist()) == [1, 2]
+    assert runtime.scalar_agg("max", np.asarray([1.0, 9.0]), 2) == 9.0
+    assert runtime.profile.join_output_rows == 3
+
+
+def test_execution_profile_merge():
+    a = ExecutionProfile(rows_scanned=5, values_extracted=10)
+    b = ExecutionProfile(rows_scanned=2, values_from_cache=7)
+    a.merge(b)
+    assert a.rows_scanned == 7
+    assert a.values_from_cache == 7
+    assert a.values_extracted == 10
+
+
+# -- generated program inspection -------------------------------------------------------------
+
+
+def test_generated_program_uses_lazy_materialization(engine):
+    engine.query("SELECT MAX(price) FROM items_json WHERE qty < 3")
+    source = engine.last_generated_source
+    assert source is not None
+    assert "scan_selected" in source  # price is deferred until after the filter
+    assert "lazy" in source
+
+
+def test_compiled_queries_are_cached_by_plan(engine):
+    engine.query("SELECT COUNT(*) FROM items_bin WHERE qty < 5")
+    compiled_before = len(engine._compiled)
+    engine.query("SELECT COUNT(*) FROM items_bin WHERE qty < 5")
+    assert len(engine._compiled) == compiled_before
+    engine.query("SELECT COUNT(*) FROM items_bin WHERE qty < 7")
+    assert len(engine._compiled) == compiled_before + 1

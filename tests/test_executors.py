@@ -1,0 +1,243 @@
+"""Unit tests for the radix kernels, the Volcano interpreter, the optimizer
+stages and the code generator (cross-checked against each other)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algebra import Join, Scan, Select
+from repro.core.executor import radix
+from repro.core.expressions import BinaryOp, FieldRef, Literal, conjunction
+from repro.core.optimizer.join_order import choose_build_side, extract_equi_key
+from repro.core.optimizer.rules import pushdown_selections, required_paths
+from repro.core.physical import PhysHashJoin, PhysScan, PhysSelect, scans_of
+from repro.errors import ExecutionError
+
+
+# -- radix kernels -----------------------------------------------------------------
+
+
+def _naive_join(left, right):
+    pairs = set()
+    for i, lv in enumerate(left):
+        for j, rv in enumerate(right):
+            if lv == rv:
+                pairs.add((i, j))
+    return pairs
+
+
+def test_radix_join_matches_naive_int():
+    rng = np.random.RandomState(0)
+    left = rng.randint(0, 40, size=200)
+    right = rng.randint(0, 40, size=150)
+    li, ri = radix.radix_join(left, right)
+    assert set(zip(li.tolist(), ri.tolist())) == _naive_join(left, right)
+
+
+def test_radix_join_matches_naive_strings():
+    left = np.asarray(["a", "b", "c", "a"], dtype=object)
+    right = np.asarray(["c", "a", "d"], dtype=object)
+    li, ri = radix.radix_join(left, right)
+    assert set(zip(li.tolist(), ri.tolist())) == _naive_join(left, right)
+
+
+def test_radix_join_empty_and_disjoint():
+    li, ri = radix.radix_join(np.asarray([1, 2, 3]), np.asarray([7, 8]))
+    assert len(li) == 0 and len(ri) == 0
+    li, ri = radix.radix_join(np.asarray([], dtype=np.int64), np.asarray([1, 2]))
+    assert len(li) == 0
+
+
+def test_radix_table_reuse():
+    left = np.asarray([1, 2, 2, 3])
+    table = radix.build_radix_table(left)
+    assert table.build_size == 4
+    assert table.size_bytes > 0
+    li, ri = radix.probe_radix_table(table, np.asarray([2, 5]))
+    assert sorted(li.tolist()) == [1, 2]
+    assert set(ri.tolist()) == {0}
+
+
+def test_radix_group_and_aggregates():
+    keys = np.asarray([3, 1, 3, 2, 1, 3])
+    values = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    grouping = radix.radix_group([keys])
+    assert grouping.num_groups == 3
+    counts = radix.group_aggregate("count", grouping.group_ids, grouping.num_groups)
+    sums = radix.group_aggregate("sum", grouping.group_ids, grouping.num_groups, values)
+    maxima = radix.group_aggregate("max", grouping.group_ids, grouping.num_groups, values)
+    by_key = {int(k): (int(c), float(s), float(m))
+              for k, c, s, m in zip(grouping.key_arrays[0], counts, sums, maxima)}
+    assert by_key[3] == (3, 10.0, 6.0)
+    assert by_key[1] == (2, 7.0, 5.0)
+    assert by_key[2] == (1, 4.0, 4.0)
+
+
+def test_radix_group_multiple_keys():
+    a = np.asarray([1, 1, 2, 2, 1])
+    b = np.asarray(["x", "y", "x", "x", "x"], dtype=object)
+    grouping = radix.radix_group([a, b])
+    assert grouping.num_groups == 3
+
+
+def test_radix_group_requires_keys_and_equal_lengths():
+    with pytest.raises(ExecutionError):
+        radix.radix_group([])
+    with pytest.raises(ExecutionError):
+        radix.radix_group([np.asarray([1, 2]), np.asarray([1])])
+
+
+def test_scalar_aggregates():
+    values = np.asarray([1.0, 4.0, 2.0])
+    assert radix.scalar_aggregate("count", None, 3) == 3
+    assert radix.scalar_aggregate("sum", values, 3) == 7.0
+    assert radix.scalar_aggregate("max", values, 3) == 4.0
+    assert radix.scalar_aggregate("min", values, 3) == 1.0
+    assert radix.scalar_aggregate("avg", values, 3) == pytest.approx(7.0 / 3)
+    with pytest.raises(ExecutionError):
+        radix.scalar_aggregate("sum", None, 3)
+    with pytest.raises(ExecutionError):
+        radix.scalar_aggregate("median", values, 3)
+
+
+def test_group_aggregate_unknown_function():
+    with pytest.raises(ExecutionError):
+        radix.group_aggregate("median", np.asarray([0]), 1, np.asarray([1.0]))
+
+
+# -- optimizer rules -------------------------------------------------------------------
+
+
+def _field(binding, name):
+    return FieldRef(binding, (name,))
+
+
+def test_selection_pushdown_through_join():
+    left = Scan("items", "i")
+    right = Scan("orders", "o")
+    join = Join(None, left, right)
+    predicate = conjunction([
+        BinaryOp("<", _field("i", "qty"), Literal(5)),
+        BinaryOp(">", _field("o", "total"), Literal(10)),
+        BinaryOp("=", _field("i", "id"), _field("o", "okey")),
+    ])
+    plan = pushdown_selections(Select(predicate, join))
+    assert isinstance(plan, Join)
+    # Join predicate holds the cross-binding conjunct.
+    assert plan.predicate is not None and plan.predicate.bindings() == {"i", "o"}
+    # Each side received its own selection.
+    assert isinstance(plan.left, Select) and plan.left.predicate.bindings() == {"i"}
+    assert isinstance(plan.right, Select) and plan.right.predicate.bindings() == {"o"}
+
+
+def test_selection_merge_of_adjacent_selects():
+    scan = Scan("items", "i")
+    plan = Select(BinaryOp("<", _field("i", "a"), Literal(1)),
+                  Select(BinaryOp(">", _field("i", "b"), Literal(0)), scan))
+    pushed = pushdown_selections(plan)
+    assert isinstance(pushed, Select)
+    assert isinstance(pushed.child, Scan)
+    assert len(pushed.predicate.bindings()) == 1
+
+
+def test_required_paths_collects_all_references():
+    from repro.core.algebra import Reduce
+    from repro.core.expressions import AggregateCall, OutputColumn
+
+    plan = Reduce(
+        "agg",
+        [OutputColumn("m", AggregateCall("max", _field("i", "price")))],
+        Select(BinaryOp("<", _field("i", "qty"), Literal(3)), Scan("items", "i")),
+    )
+    required = required_paths(plan)
+    assert required["i"] == {("price",), ("qty",)}
+
+
+def test_extract_equi_key_and_residual():
+    predicate = conjunction([
+        BinaryOp("=", _field("o", "okey"), _field("l", "okey")),
+        BinaryOp("<", _field("l", "qty"), Literal(3)),
+    ])
+    left_key, right_key, residual = extract_equi_key(predicate, {"o"}, {"l"})
+    assert left_key.binding == "o"
+    assert right_key.binding == "l"
+    assert residual is not None and residual.bindings() == {"l"}
+    assert extract_equi_key(None, {"o"}, {"l"}) == (None, None, None)
+
+
+def test_choose_build_side():
+    assert choose_build_side(1000, 10) is True
+    assert choose_build_side(10, 1000) is False
+
+
+# -- planner / engine integration --------------------------------------------------------
+
+
+def test_planner_produces_hash_join_and_projection_pushdown(engine):
+    engine.query("SELECT COUNT(*) FROM items_bin")  # warm catalog
+    engine.query(
+        "SELECT SUM(i.price) FROM items_bin i JOIN items_csv c ON i.id = c.id "
+        "WHERE c.qty < 5"
+    )
+    plan = engine.last_plan
+    joins = [node for node in plan.walk() if isinstance(node, PhysHashJoin)]
+    assert len(joins) == 1
+    scans = scans_of(plan)
+    paths_by_dataset = {scan.dataset: set(map(tuple, scan.paths)) for scan in scans}
+    # Only the fields the query touches are materialized by each scan.
+    assert paths_by_dataset["items_bin"] == {("id",), ("price",)}
+    assert paths_by_dataset["items_csv"] == {("id",), ("qty",)}
+
+
+def test_planner_falls_back_to_nested_loop_for_non_equi_join(engine):
+    engine.query(
+        "SELECT COUNT(*) FROM items_bin i JOIN items_csv c ON i.id < c.id "
+        "WHERE c.qty < 1 AND i.qty < 1"
+    )
+    from repro.core.physical import PhysNestedLoopJoin
+
+    assert any(isinstance(node, PhysNestedLoopJoin) for node in engine.last_plan.walk())
+
+
+# -- Volcano vs generated code -------------------------------------------------------------
+
+
+QUERIES = [
+    "SELECT COUNT(*) FROM items_csv WHERE qty < 5",
+    "SELECT MAX(price), SUM(qty) FROM items_json WHERE id < 60",
+    "SELECT qty, COUNT(*), MAX(price) FROM items_bin WHERE id < 100 GROUP BY qty",
+    "SELECT SUM(i.price) FROM items_bin i JOIN items_csv c ON i.id = c.id WHERE c.qty < 4",
+    "for { o <- orders, l <- o.lines, l.qty > 1 } yield count",
+    "SELECT origin.country, COUNT(*) FROM orders GROUP BY origin.country",
+]
+
+
+def _normalized(rows):
+    """Normalize numeric types so int/float representation differences between
+    the vectorized and the interpreted executor do not matter."""
+    out = []
+    for row in rows:
+        out.append(tuple(
+            round(float(v), 6) if isinstance(v, (int, float)) and not isinstance(v, bool)
+            else v
+            for v in row
+        ))
+    return sorted(out, key=repr)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_generated_code_matches_volcano(engine, volcano_engine, query):
+    generated = engine.query(query)
+    interpreted = volcano_engine.query(query)
+    assert generated.used_codegen
+    assert not interpreted.used_codegen
+    assert _normalized(generated.rows) == _normalized(interpreted.rows)
+
+
+def test_generated_source_is_exposed_and_specialized(engine):
+    engine.query("SELECT COUNT(*) FROM items_csv WHERE qty < 5")
+    source = engine.last_generated_source
+    assert source is not None
+    assert "def __query__(rt):" in source
+    assert "qty" in source
+    # Only the predicate column is scanned eagerly; no other fields appear.
+    assert "price" not in source

@@ -1,0 +1,155 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.core import types as t
+from repro.core.expressions import (
+    AggregateCall,
+    BinaryOp,
+    FieldRef,
+    IfThenElse,
+    Literal,
+    RecordConstruct,
+    UnaryOp,
+    conjunction,
+    conjuncts,
+    contains_aggregate,
+    is_equi_join_predicate,
+    iter_aggregates,
+    to_string,
+)
+from repro.errors import ExecutionError, SchemaError
+
+
+def test_field_ref_evaluation_and_paths():
+    ref = FieldRef("l", ("origin", "country"))
+    env = {"l": {"origin": {"country": "CH"}}}
+    assert ref.evaluate(env) == "CH"
+    assert ref.referenced_fields() == {("l", ("origin", "country"))}
+    assert ref.extend("code").path == ("origin", "country", "code")
+
+
+def test_field_ref_missing_binding_raises():
+    with pytest.raises(ExecutionError):
+        FieldRef("x", ("a",)).evaluate({})
+
+
+def test_field_ref_empty_path_returns_binding():
+    assert FieldRef("v", ()).evaluate({"v": 42}) == 42
+
+
+def test_binary_arithmetic_and_comparison():
+    expr = BinaryOp("+", FieldRef("l", ("a",)), Literal(2))
+    assert expr.evaluate({"l": {"a": 3}}) == 5
+    cmp = BinaryOp("<", expr, Literal(10))
+    assert cmp.evaluate({"l": {"a": 3}}) is True
+    assert cmp.evaluate({"l": {"a": 9}}) is False
+
+
+def test_binary_null_semantics():
+    expr = BinaryOp("<", FieldRef("l", ("a",)), Literal(10))
+    assert expr.evaluate({"l": {}}) is False
+    arith = BinaryOp("+", FieldRef("l", ("a",)), Literal(1))
+    assert arith.evaluate({"l": {}}) is None
+
+
+def test_logical_operators():
+    a = BinaryOp(">", FieldRef("l", ("x",)), Literal(1))
+    b = BinaryOp("<", FieldRef("l", ("x",)), Literal(5))
+    both = BinaryOp("and", a, b)
+    either = BinaryOp("or", a, b)
+    assert both.evaluate({"l": {"x": 3}})
+    assert not both.evaluate({"l": {"x": 7}})
+    assert either.evaluate({"l": {"x": 7}})
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(SchemaError):
+        BinaryOp("**", Literal(1), Literal(2))
+    with pytest.raises(SchemaError):
+        UnaryOp("abs", Literal(1))
+
+
+def test_unary():
+    assert UnaryOp("-", Literal(4)).evaluate({}) == -4
+    assert UnaryOp("not", Literal(False)).evaluate({}) is True
+
+
+def test_record_construct_and_if():
+    record = RecordConstruct({"a": Literal(1), "b": FieldRef("x", ("v",))})
+    assert record.evaluate({"x": {"v": 2}}) == {"a": 1, "b": 2}
+    cond = IfThenElse(BinaryOp(">", Literal(2), Literal(1)), Literal("yes"), Literal("no"))
+    assert cond.evaluate({}) == "yes"
+
+
+def test_aggregate_call_validation():
+    with pytest.raises(SchemaError):
+        AggregateCall("sum")  # missing argument
+    count = AggregateCall("count")
+    assert count.result_type({}) is t.INT
+    with pytest.raises(ExecutionError):
+        count.evaluate({})
+
+
+def test_contains_and_iter_aggregates():
+    expr = BinaryOp("/", AggregateCall("sum", FieldRef("l", ("x",))), AggregateCall("count"))
+    assert contains_aggregate(expr)
+    assert len(list(iter_aggregates(expr))) == 2
+    assert not contains_aggregate(FieldRef("l", ("x",)))
+
+
+def test_conjuncts_and_conjunction_roundtrip():
+    a = BinaryOp(">", FieldRef("l", ("x",)), Literal(1))
+    b = BinaryOp("<", FieldRef("l", ("y",)), Literal(5))
+    c = BinaryOp("=", FieldRef("l", ("z",)), Literal(0))
+    combined = conjunction([a, b, c])
+    assert conjuncts(combined) == [a, b, c]
+    assert conjunction([]) is None
+    assert conjuncts(None) == []
+
+
+def test_equi_join_detection():
+    predicate = BinaryOp("=", FieldRef("o", ("okey",)), FieldRef("l", ("okey",)))
+    pair = is_equi_join_predicate(predicate, {"o"}, {"l"})
+    assert pair is not None
+    left, right = pair
+    assert left.binding == "o" and right.binding == "l"
+    # Orientation flips when the sides are swapped.
+    pair = is_equi_join_predicate(predicate, {"l"}, {"o"})
+    assert pair[0].binding == "l"
+    # Non-equi predicates are rejected.
+    assert is_equi_join_predicate(
+        BinaryOp("<", FieldRef("o", ("k",)), FieldRef("l", ("k",))), {"o"}, {"l"}
+    ) is None
+
+
+def test_substitute_binding():
+    expr = BinaryOp("+", FieldRef("a", ("x",)), FieldRef("b", ("y",)))
+    renamed = expr.substitute_binding("a", "z")
+    assert renamed.referenced_fields() == {("z", ("x",)), ("b", ("y",))}
+
+
+def test_fingerprint_equality_and_hash():
+    a = BinaryOp("<", FieldRef("l", ("x",)), Literal(3))
+    b = BinaryOp("<", FieldRef("l", ("x",)), Literal(3))
+    c = BinaryOp("<", FieldRef("l", ("x",)), Literal(4))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_result_types():
+    scope = {"l": t.make_schema({"x": "int", "y": "float", "s": "string"})}
+    assert BinaryOp("+", FieldRef("l", ("x",)), FieldRef("l", ("y",))).result_type(scope) is t.FLOAT
+    assert BinaryOp("<", FieldRef("l", ("x",)), Literal(1)).result_type(scope) is t.BOOL
+    assert BinaryOp("/", FieldRef("l", ("x",)), Literal(2)).result_type(scope) is t.FLOAT
+    assert AggregateCall("avg", FieldRef("l", ("x",))).result_type(scope) is t.FLOAT
+    assert AggregateCall("max", FieldRef("l", ("y",))).result_type(scope) is t.FLOAT
+
+
+def test_to_string_is_readable():
+    expr = BinaryOp("and",
+                    BinaryOp("<", FieldRef("l", ("x",)), Literal(3)),
+                    BinaryOp("=", FieldRef("l", ("s",)), Literal("a")))
+    text = to_string(expr)
+    assert "l.x" in text and "'a'" in text and "and" in text

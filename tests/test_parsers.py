@@ -1,0 +1,158 @@
+"""Unit tests for the lexer, SQL frontend and comprehension frontend."""
+
+import pytest
+
+from repro.core.calculus import DatasetSource, Filter, Generator, PathSource
+from repro.core.comprehension_parser import parse_comprehension
+from repro.core.expressions import AggregateCall, BinaryOp, FieldRef, Literal
+from repro.core.lexer import IDENT, NUMBER, STRING, SYMBOL, TokenStream, tokenize
+from repro.core.sql_parser import UNRESOLVED, parse_sql
+from repro.errors import ParseError
+
+
+# -- lexer -------------------------------------------------------------------
+
+
+def test_tokenize_basic():
+    tokens = tokenize("SELECT a, b FROM t WHERE x <= 3.5 AND s = 'hi'")
+    kinds = [token.kind for token in tokens]
+    assert kinds.count(STRING) == 1
+    assert kinds.count(NUMBER) == 1
+    assert any(token.kind == SYMBOL and token.value == "<=" for token in tokens)
+
+
+def test_tokenize_arrow_and_braces():
+    tokens = tokenize("for { x <- Data }")
+    values = [token.value for token in tokens if token.kind == SYMBOL]
+    assert "<-" in values and "{" in values and "}" in values
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize("SELECT 'oops")
+
+
+def test_token_stream_expect_error_mentions_position():
+    stream = TokenStream("select +")
+    stream.expect(IDENT, "select")
+    with pytest.raises(ParseError):
+        stream.expect(IDENT, "from")
+
+
+def test_path_vs_decimal_disambiguation():
+    tokens = tokenize("a.b 1.5")
+    # a.b is IDENT SYMBOL IDENT, 1.5 is a single number.
+    assert [t.kind for t in tokens[:3]] == [IDENT, SYMBOL, IDENT]
+    assert tokens[3].kind == NUMBER and tokens[3].value == "1.5"
+
+
+# -- SQL parser ---------------------------------------------------------------
+
+
+def test_parse_simple_aggregate():
+    comp = parse_sql("SELECT COUNT(*) FROM lineitem WHERE l_orderkey < 100")
+    assert comp.datasets() == ["lineitem"]
+    assert len(comp.head) == 1
+    assert isinstance(comp.head[0].expression, AggregateCall)
+    filters = comp.filters()
+    assert len(filters) == 1
+    assert isinstance(filters[0].predicate, BinaryOp)
+
+
+def test_parse_aliases_and_projection_names():
+    comp = parse_sql("SELECT l.qty AS quantity, price FROM items l")
+    assert comp.generators()[0].var == "l"
+    assert [c.name for c in comp.head] == ["quantity", "price"]
+    # References are unresolved until binding.
+    assert comp.head[0].expression.binding == UNRESOLVED
+
+
+def test_parse_join_on():
+    comp = parse_sql(
+        "SELECT COUNT(*) FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey "
+        "WHERE l.l_orderkey < 10"
+    )
+    generators = comp.generators()
+    assert [g.var for g in generators] == ["o", "l"]
+    assert len(comp.filters()) == 2  # join predicate + where predicate
+
+
+def test_parse_group_order_limit():
+    comp = parse_sql(
+        "SELECT qty, COUNT(*) FROM items GROUP BY qty ORDER BY qty DESC LIMIT 3"
+    )
+    assert len(comp.group_by) == 1
+    assert comp.order_by == [("qty", False)]
+    assert comp.limit == 3
+
+
+def test_parse_arithmetic_and_parentheses():
+    comp = parse_sql("SELECT SUM((price + 1) * 2) FROM items WHERE NOT qty = 3")
+    aggregate = comp.head[0].expression
+    assert isinstance(aggregate, AggregateCall)
+    assert aggregate.func == "sum"
+
+
+def test_parse_select_star():
+    comp = parse_sql("SELECT * FROM items")
+    assert comp.head[0].name == "*"
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_sql("SELECT FROM items")
+    with pytest.raises(ParseError):
+        parse_sql("SELECT a FROM items WHERE")
+    with pytest.raises(ParseError):
+        parse_sql("SELECT a FROM items garbage garbage garbage")
+
+
+def test_count_star_only_for_count():
+    with pytest.raises(ParseError):
+        parse_sql("SELECT MAX(*) FROM items")
+
+
+# -- comprehension parser --------------------------------------------------------
+
+
+def test_parse_comprehension_example_3_1():
+    comp = parse_comprehension(
+        "for { s1 <- Sailor, c <- s1.children, s2 <- Ship, p <- s2.personnel, "
+        "s1.id = p.id, c.age > 18 } yield bag (s1.id, s2.name, c.name)"
+    )
+    generators = comp.generators()
+    assert [g.var for g in generators] == ["s1", "c", "s2", "p"]
+    assert isinstance(generators[0].source, DatasetSource)
+    assert isinstance(generators[1].source, PathSource)
+    assert generators[1].source.path == ("children",)
+    assert len(comp.filters()) == 2
+    assert [c.name for c in comp.head] == ["id", "name", "name_1"]
+
+
+def test_parse_comprehension_aggregate_monoids():
+    comp = parse_comprehension("for { l <- lineitem, l.qty > 5 } yield sum (l.qty)")
+    assert isinstance(comp.head[0].expression, AggregateCall)
+    count = parse_comprehension("for { l <- lineitem } yield count")
+    assert count.head[0].expression.func == "count"
+
+
+def test_parse_comprehension_named_outputs():
+    comp = parse_comprehension(
+        "for { o <- orders } yield bag (o.okey as key, o.total as amount)"
+    )
+    assert [c.name for c in comp.head] == ["key", "amount"]
+
+
+def test_parse_comprehension_unbound_variable_rejected():
+    with pytest.raises(ParseError):
+        parse_comprehension("for { o <- orders } yield bag (x.okey)")
+    with pytest.raises(ParseError):
+        parse_comprehension("for { l <- x.lines } yield count")
+
+
+def test_parse_comprehension_scoping_order():
+    # A filter may only reference previously bound generators.
+    with pytest.raises(ParseError):
+        parse_comprehension(
+            "for { o <- orders, l.qty > 2, l <- o.lines } yield count"
+        )

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on the core data structures and on the
+equivalence of the execution back-ends."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ProteusEngine
+from repro.core import types as t
+from repro.core.executor import radix
+from repro.core.expressions import BinaryOp, FieldRef, Literal
+from repro.core.normalizer import fold_constants
+from repro.storage import structural_index as si
+from repro.storage.binary_format import write_column_table
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# ---------------------------------------------------------------------------
+# Radix join / grouping vs naive reference
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(
+    left=st.lists(st.integers(min_value=-20, max_value=20), max_size=60),
+    right=st.lists(st.integers(min_value=-20, max_value=20), max_size=60),
+)
+def test_radix_join_equivalent_to_naive(left, right):
+    left_array = np.asarray(left, dtype=np.int64)
+    right_array = np.asarray(right, dtype=np.int64)
+    li, ri = radix.radix_join(left_array, right_array)
+    got = set(zip(li.tolist(), ri.tolist()))
+    expected = {
+        (i, j)
+        for i, lv in enumerate(left)
+        for j, rv in enumerate(right)
+        if lv == rv
+    }
+    assert got == expected
+
+
+@SETTINGS
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=80),
+)
+def test_radix_group_counts_and_sums(keys):
+    values = np.arange(len(keys), dtype=np.float64)
+    grouping = radix.radix_group([np.asarray(keys)])
+    counts = radix.group_aggregate("count", grouping.group_ids, grouping.num_groups)
+    sums = radix.group_aggregate("sum", grouping.group_ids, grouping.num_groups, values)
+    reference_counts: dict[int, int] = {}
+    reference_sums: dict[int, float] = {}
+    for key, value in zip(keys, values):
+        reference_counts[key] = reference_counts.get(key, 0) + 1
+        reference_sums[key] = reference_sums.get(key, 0.0) + value
+    assert grouping.num_groups == len(reference_counts)
+    for key, count, total in zip(grouping.key_arrays[0], counts, sums):
+        assert reference_counts[int(key)] == int(count)
+        assert reference_sums[int(key)] == pytest.approx(float(total))
+
+
+# ---------------------------------------------------------------------------
+# Structural indexes
+# ---------------------------------------------------------------------------
+
+_json_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.none(),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=10),
+)
+
+_json_objects = st.lists(
+    st.fixed_dictionaries(
+        {"a": _json_values, "b": _json_values},
+        optional={"c": _json_values, "nested": st.fixed_dictionaries({"x": _json_values})},
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@SETTINGS
+@given(objects=_json_objects)
+def test_json_structural_index_spans_roundtrip(objects):
+    data = ("\n".join(json.dumps(o) for o in objects) + "\n").encode()
+    index = si.build_json_index(data)
+    assert index.num_objects == len(objects)
+    for position, record in enumerate(objects):
+        for name, value in record.items():
+            if isinstance(value, dict):
+                continue
+            span = index.field_span(position, name)
+            assert span is not None
+            start, end, _ = span
+            assert json.loads(data[start:end]) == value
+        span = index.field_span(position, "not_a_field")
+        assert span is None
+
+
+@SETTINGS
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.text(alphabet="abcdefgh", min_size=0, max_size=8),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    stride=st.integers(min_value=1, max_value=4),
+)
+def test_csv_structural_index_spans_roundtrip(rows, stride):
+    lines = ["x,y,z"] + [f"{a},{b:.3f},{c}" for a, b, c in rows]
+    data = ("\n".join(lines) + "\n").encode()
+    index = si.build_csv_index(data, stride=stride)
+    assert index.num_rows == len(rows)
+    for row, (a, b, c) in enumerate(rows):
+        start, end = index.field_span(data, row, 0)
+        assert data[start:end].decode() == str(a)
+        start, end = index.field_span(data, row, 2)
+        assert data[start:end].decode() == c
+
+
+# ---------------------------------------------------------------------------
+# Constant folding preserves semantics
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(
+    a=st.integers(min_value=-100, max_value=100),
+    b=st.integers(min_value=1, max_value=100),
+    op=st.sampled_from(["+", "-", "*", "<", "<=", ">", ">=", "="]),
+)
+def test_fold_constants_matches_evaluation(a, b, op):
+    expression = BinaryOp(op, Literal(a), Literal(b))
+    folded = fold_constants(expression)
+    assert isinstance(folded, Literal)
+    assert folded.value == expression.evaluate({})
+
+
+# ---------------------------------------------------------------------------
+# Generated code vs Volcano interpreter vs NumPy reference on random data
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _filter_queries(draw):
+    threshold_a = draw(st.integers(min_value=0, max_value=50))
+    threshold_b = draw(st.integers(min_value=0, max_value=50))
+    op_a = draw(st.sampled_from(["<", "<=", ">", ">="]))
+    conjunction = draw(st.booleans())
+    return threshold_a, op_a, threshold_b, conjunction
+
+
+@SETTINGS
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    query=_filter_queries(),
+)
+def test_engine_filter_aggregate_matches_reference(tmp_path_factory, values, query):
+    threshold_a, op_a, threshold_b, conjunction = query
+    directory = tmp_path_factory.mktemp("prop")
+    columns = {
+        "a": np.asarray(values, dtype=np.int64),
+        "b": np.asarray([(v * 7) % 53 for v in values], dtype=np.int64),
+    }
+    schema = t.make_schema({"a": "int", "b": "int"})
+    write_column_table(str(directory / "table"), columns, schema)
+
+    where = f"a {op_a} {threshold_a}"
+    if conjunction:
+        where += f" AND b < {threshold_b}"
+    sql = f"SELECT COUNT(*), SUM(b) FROM data WHERE {where}"
+
+    ops = {"<": np.less, "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal}
+    mask = ops[op_a](columns["a"], threshold_a)
+    if conjunction:
+        mask &= columns["b"] < threshold_b
+    expected_count = int(mask.sum())
+    expected_sum = float(columns["b"][mask].sum())
+
+    for enable_codegen in (True, False):
+        engine = ProteusEngine(enable_codegen=enable_codegen, enable_caching=False)
+        engine.register_binary_columns("data", str(directory / "table"))
+        result = engine.query(sql)
+        assert result.rows[0][0] == expected_count
+        assert float(result.rows[0][1]) == pytest.approx(expected_sum)

@@ -1,0 +1,261 @@
+"""Unit tests for the storage substrates: binary formats, structural indexes,
+memory manager and catalog."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import types as t
+from repro.errors import CatalogError, StorageError
+from repro.storage import binary_format as bf
+from repro.storage.catalog import Catalog, DataFormat, Dataset, DatasetStatistics
+from repro.storage.memory import CacheArena, MemoryManager
+from repro.storage import structural_index as si
+
+
+# -- binary column/row formats --------------------------------------------------
+
+
+def test_column_file_roundtrip_numeric(tmp_path):
+    path = str(tmp_path / "x.col")
+    values = np.arange(100, dtype=np.int64)
+    bf.write_column_file(path, values, "int")
+    loaded = bf.read_column_file(path)
+    assert np.array_equal(np.asarray(loaded), values)
+
+
+def test_column_file_roundtrip_strings(tmp_path):
+    path = str(tmp_path / "s.col")
+    values = ["alpha", "", "gamma", "δelta"]
+    bf.write_column_file(path, values, "string")
+    loaded = bf.read_column_file(path)
+    assert list(loaded) == values
+
+
+def test_column_file_rejects_bad_magic(tmp_path):
+    path = str(tmp_path / "bad.col")
+    with open(path, "wb") as handle:
+        handle.write(b"not a column file at all")
+    with pytest.raises(StorageError):
+        bf.read_column_file(path)
+
+
+def test_column_table_roundtrip(tmp_path):
+    schema = t.make_schema({"a": "int", "b": "float", "c": "string"})
+    columns = {
+        "a": np.arange(10),
+        "b": np.linspace(0, 1, 10),
+        "c": np.asarray([f"v{i}" for i in range(10)], dtype=object),
+    }
+    directory = str(tmp_path / "table")
+    bf.write_column_table(directory, columns, schema)
+    table = bf.read_column_table(directory)
+    assert table.row_count == 10
+    assert np.allclose(table.column("b"), columns["b"])
+    assert list(table.column("c")) == list(columns["c"])
+    with pytest.raises(StorageError):
+        table.column("missing")
+
+
+def test_column_table_length_mismatch(tmp_path):
+    schema = t.make_schema({"a": "int", "b": "int"})
+    with pytest.raises(StorageError):
+        bf.write_column_table(str(tmp_path / "bad"), {"a": [1, 2], "b": [1]}, schema)
+
+
+def test_row_table_roundtrip(tmp_path):
+    schema = t.make_schema({"a": "int", "s": "string"})
+    path = str(tmp_path / "rows.bin")
+    bf.write_row_table(path, {"a": [1, 2, 3], "s": ["x", "yy", "zzz"]}, schema)
+    table = bf.read_row_table(path)
+    assert table.row_count == 3
+    assert list(table.column("a")) == [1, 2, 3]
+    assert list(table.column("s")) == ["x", "yy", "zzz"]
+
+
+def test_binary_formats_reject_nested_schema(tmp_path):
+    nested = t.make_schema({"a": {"b": "int"}})
+    with pytest.raises(StorageError):
+        bf.schema_to_dict(nested)
+
+
+# -- CSV structural index ----------------------------------------------------------
+
+
+CSV_DATA = b"id,qty,price,name\n" + b"".join(
+    f"{i},{i % 7},{i * 1.5:.2f},item{i}\n".encode() for i in range(50)
+)
+
+
+def test_csv_index_field_spans():
+    index = si.build_csv_index(CSV_DATA, stride=2)
+    assert index.num_rows == 50
+    assert index.field_count == 4
+    for row in (0, 7, 49):
+        start, end = index.field_span(CSV_DATA, row, 3)
+        assert CSV_DATA[start:end].decode() == f"item{row}"
+        start, end = index.field_span(CSV_DATA, row, 1)
+        assert CSV_DATA[start:end].decode() == str(row % 7)
+
+
+def test_csv_index_stride_tradeoff():
+    dense = si.build_csv_index(CSV_DATA, stride=1)
+    sparse = si.build_csv_index(CSV_DATA, stride=4)
+    assert dense.size_bytes > sparse.size_bytes
+    # Both must return identical spans.
+    assert dense.field_span(CSV_DATA, 10, 2) == sparse.field_span(CSV_DATA, 10, 2)
+
+
+def test_csv_index_out_of_range_field():
+    index = si.build_csv_index(CSV_DATA)
+    with pytest.raises(StorageError):
+        index.field_span(CSV_DATA, 0, 10)
+
+
+def test_csv_index_no_header():
+    data = b"1,2,3\n4,5,6\n"
+    index = si.build_csv_index(data, has_header=False)
+    assert index.num_rows == 2
+    start, end = index.field_span(data, 1, 2)
+    assert data[start:end] == b"6"
+
+
+# -- JSON structural index -----------------------------------------------------------
+
+
+def _json_bytes(objects):
+    return ("\n".join(json.dumps(o) for o in objects) + "\n").encode()
+
+
+def test_json_index_fixed_schema_detection():
+    objects = [{"a": i, "b": {"c": i * 2}, "tags": [1, 2]} for i in range(20)]
+    index = si.build_json_index(_json_bytes(objects))
+    assert index.num_objects == 20
+    assert index.fixed_schema
+    span = index.field_span(3, "a")
+    assert span is not None and span[2] == si.TYPE_NUMBER
+    nested = index.field_span(3, "b.c")
+    assert nested is not None
+
+
+def test_json_index_flexible_schema_level0():
+    objects = [{"a": 1, "b": 2}, {"b": 5, "a": 6, "extra": "x"}, {"a": 9}]
+    index = si.build_json_index(_json_bytes(objects))
+    assert not index.fixed_schema
+    assert index.field_span(1, "extra")[2] == si.TYPE_STRING
+    assert index.field_span(2, "b") is None
+    assert {"a", "b", "extra"} <= index.paths()
+
+
+def test_json_index_arrays_excluded_from_level0_navigation():
+    objects = [{"a": 1, "items": [{"x": 1}, {"x": 2}]}] * 3
+    data = _json_bytes(objects)
+    index = si.build_json_index(data)
+    span = index.field_span(0, "items")
+    assert span is not None and span[2] == si.TYPE_ARRAY
+    # Array element fields are not registered as paths of their own.
+    assert "items.x" not in index.paths()
+    # The recorded span parses back to the array.
+    start, end, _ = span
+    assert json.loads(data[start:end]) == [{"x": 1}, {"x": 2}]
+
+
+def test_json_index_value_spans_roundtrip():
+    objects = [{"s": 'he said "hi"', "n": -1.5e3, "b": True, "z": None}]
+    data = _json_bytes(objects)
+    index = si.build_json_index(data)
+    start, end, code = index.field_span(0, "s")
+    assert json.loads(data[start:end]) == 'he said "hi"'
+    assert code == si.TYPE_STRING
+    assert index.field_span(0, "b")[2] == si.TYPE_BOOL
+    assert index.field_span(0, "z")[2] == si.TYPE_NULL
+
+
+def test_json_index_rejects_non_object_stream():
+    with pytest.raises(StorageError):
+        si.build_json_index(b"[1, 2, 3]")
+
+
+def test_json_index_size_is_fraction_of_file():
+    objects = [
+        {"a": i, "b": i * 2, "c": "padding-" * 40 + str(i), "d": [1, 2, 3],
+         "body": "lorem ipsum dolor sit amet " * 8}
+        for i in range(100)
+    ]
+    data = _json_bytes(objects)
+    index = si.build_json_index(data)
+    assert 0 < index.size_bytes < len(data)
+
+
+# -- memory manager --------------------------------------------------------------------
+
+
+def test_memory_manager_maps_files(tmp_path):
+    path = tmp_path / "data.bin"
+    path.write_bytes(b"hello world")
+    manager = MemoryManager()
+    mapped = manager.map_file(str(path))
+    assert bytes(mapped.data[:5]) == b"hello"
+    assert str(path) in manager.mapped_files[0]
+    manager.release_all()
+
+
+def test_memory_manager_missing_file():
+    manager = MemoryManager()
+    with pytest.raises(StorageError):
+        manager.map_file("/does/not/exist")
+
+
+def test_cache_arena_accounting():
+    arena = CacheArena(1000)
+    arena.register("a", 400)
+    arena.register("b", 500)
+    assert arena.used_bytes == 900
+    assert not arena.can_fit(200)
+    with pytest.raises(StorageError):
+        arena.register("c", 200)
+    arena.unregister("a")
+    assert arena.can_fit(200)
+    with pytest.raises(StorageError):
+        arena.register("huge", 5000)
+
+
+def test_cache_arena_rejects_duplicates_and_bad_budget():
+    with pytest.raises(StorageError):
+        CacheArena(0)
+    arena = CacheArena(100)
+    arena.register("x", 10)
+    with pytest.raises(StorageError):
+        arena.register("x", 10)
+
+
+# -- catalog ----------------------------------------------------------------------------
+
+
+def test_catalog_register_and_lookup():
+    catalog = Catalog()
+    schema = t.make_schema({"a": "int"})
+    dataset = Dataset("d", DataFormat.CSV, "/tmp/d.csv", schema)
+    catalog.register(dataset)
+    assert "d" in catalog
+    assert catalog.get("d").schema is schema
+    assert catalog.element_types() == {"d": schema}
+    with pytest.raises(CatalogError):
+        catalog.register(dataset)
+    catalog.register(dataset, replace=True)
+    with pytest.raises(CatalogError):
+        catalog.get("missing")
+
+
+def test_catalog_statistics_and_unknown_format():
+    catalog = Catalog()
+    schema = t.make_schema({"a": "int"})
+    with pytest.raises(CatalogError):
+        catalog.register(Dataset("x", "parquet", "p", schema))
+    catalog.register(Dataset("d", DataFormat.JSON, "p", schema))
+    stats = DatasetStatistics(cardinality=10, min_values={"a": 0}, max_values={"a": 9})
+    catalog.set_statistics("d", stats)
+    assert catalog.statistics("d").value_range("a") == (0, 9)
+    assert catalog.statistics("d").value_range("missing") is None

@@ -1,0 +1,98 @@
+"""Unit tests for the data model (types, schemas, monoids)."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as t
+from repro.errors import SchemaError
+
+
+def test_primitive_lookup():
+    assert t.primitive_type("int") is t.INT
+    assert t.primitive_type("string") is t.STRING
+    with pytest.raises(SchemaError):
+        t.primitive_type("decimal")
+
+
+def test_primitive_equality_and_hash():
+    assert t.IntType() == t.INT
+    assert hash(t.IntType()) == hash(t.INT)
+    assert t.INT != t.FLOAT
+
+
+def test_numpy_dtypes():
+    assert t.INT.numpy_dtype() == np.dtype(np.int64)
+    assert t.FLOAT.numpy_dtype() == np.dtype(np.float64)
+    assert t.BOOL.numpy_dtype() == np.dtype(np.bool_)
+    assert t.STRING.numpy_dtype() == np.dtype(object)
+
+
+def test_record_type_fields_and_paths():
+    schema = t.make_schema({"a": "int", "b": {"c": "float", "d": "string"}})
+    assert schema.field_names() == ["a", "b"]
+    assert schema.field_type("a") is t.INT
+    assert schema.resolve_path(("b", "c")) is t.FLOAT
+    with pytest.raises(SchemaError):
+        schema.field("missing")
+    with pytest.raises(SchemaError):
+        schema.resolve_path(("a", "c"))
+
+
+def test_record_type_rejects_duplicates():
+    with pytest.raises(SchemaError):
+        t.RecordType([t.Field("x", t.INT), t.Field("x", t.FLOAT)])
+
+
+def test_collection_spec():
+    schema = t.make_schema({"items": [{"x": "int"}]})
+    collection = schema.field_type("items")
+    assert isinstance(collection, t.CollectionType)
+    assert isinstance(collection.element, t.RecordType)
+    assert collection.element.field_type("x") is t.INT
+
+
+def test_collection_spec_requires_single_element():
+    with pytest.raises(SchemaError):
+        t.make_schema({"items": ["int", "float"]})
+
+
+def test_monoid_lookup_and_properties():
+    assert t.monoid("sum").commutative
+    assert t.monoid("set").idempotent
+    assert t.monoid("bag").is_collection
+    assert not t.monoid("max").is_collection
+    with pytest.raises(SchemaError):
+        t.monoid("median")
+
+
+def test_infer_type():
+    assert t.infer_type(3) is t.INT
+    assert t.infer_type(3.5) is t.FLOAT
+    assert t.infer_type(True) is t.BOOL
+    assert t.infer_type("x") is t.STRING
+    record = t.infer_type({"a": 1, "b": [1, 2]})
+    assert isinstance(record, t.RecordType)
+    assert isinstance(record.field_type("b"), t.CollectionType)
+
+
+def test_merge_types_widens_numeric():
+    assert t.merge_types(t.INT, t.FLOAT) is t.FLOAT
+    assert t.merge_types(t.INT, t.INT) is t.INT
+    assert t.merge_types(t.INT, t.STRING) is t.STRING
+
+
+def test_merge_types_records_union_fields():
+    left = t.make_schema({"a": "int"})
+    right = t.make_schema({"a": "int", "b": "string"})
+    merged = t.merge_types(left, right)
+    assert isinstance(merged, t.RecordType)
+    assert merged.field_names() == ["a", "b"]
+    assert merged.field("b").nullable
+    assert not merged.field("a").nullable
+
+
+def test_arithmetic_result_type():
+    assert t.arithmetic_result_type(t.INT, t.INT) is t.INT
+    assert t.arithmetic_result_type(t.INT, t.FLOAT) is t.FLOAT
+    with pytest.raises(SchemaError):
+        t.arithmetic_result_type(t.STRING, t.INT)

@@ -1,0 +1,166 @@
+"""Tests of the workload generators and query specifications."""
+
+import json
+import os
+
+import pytest
+
+from repro.workloads import symantec, templates, tpch
+from repro.workloads.query_spec import (
+    JoinSpec,
+    QuerySpec,
+    TableRef,
+    UnnestSpec,
+    agg,
+    col,
+    count_star,
+    filt,
+)
+
+
+# -- query specs ----------------------------------------------------------------
+
+
+def test_query_spec_sql_rendering():
+    spec = QuerySpec(
+        "q",
+        [TableRef("orders", "o"), TableRef("lineitem", "l")],
+        [count_star(), agg("max", "o", "o_totalprice")],
+        [filt("l", "l_orderkey", "<", 100)],
+        joins=[JoinSpec("o", ("o_orderkey",), "l", ("l_orderkey",))],
+    )
+    sql = spec.to_sql()
+    assert "JOIN lineitem l ON o.o_orderkey = l.l_orderkey" in sql
+    assert "COUNT(*) AS cnt" in sql
+    assert "WHERE l.l_orderkey < 100" in sql
+    assert spec.to_text() == sql
+
+
+def test_query_spec_comprehension_rendering():
+    spec = QuerySpec(
+        "q",
+        [TableRef("orders_denorm", "o")],
+        [count_star()],
+        [filt("li", "l_orderkey", "<", 10)],
+        unnest=UnnestSpec("o", ("lineitems",), "li"),
+    )
+    text = spec.to_text()
+    assert text.startswith("for {")
+    assert "li <- o.lineitems" in text
+    assert text.endswith("yield count")
+
+
+def test_query_spec_string_literal_escaping():
+    spec = QuerySpec(
+        "q",
+        [TableRef("t", "t")],
+        [count_star()],
+        [filt("t", "label", "=", "o'brien")],
+    )
+    assert "'obrien'" in spec.to_sql()
+
+
+def test_query_spec_helpers():
+    assert count_star().aggregate == "count"
+    assert agg("max", "l", "a", "b").path == ("a", "b")
+    assert col("l", "x").output == "x"
+    assert filt("l", "a.b", "<", 1).path == ("a", "b")
+
+
+# -- TPC-H generator -------------------------------------------------------------
+
+
+def test_tpch_generation_is_deterministic():
+    first = tpch.generate(scale=0.05, seed=7)
+    second = tpch.generate(scale=0.05, seed=7)
+    assert (first.lineitem["l_orderkey"] == second.lineitem["l_orderkey"]).all()
+    different = tpch.generate(scale=0.05, seed=8)
+    assert not (first.lineitem["l_orderkey"] == different.lineitem["l_orderkey"]).all()
+
+
+def test_tpch_ratio_and_threshold():
+    tables = tpch.generate(scale=0.1)
+    assert tables.num_lineitems == 600
+    assert tables.num_orders == 150
+    assert tables.lineitem["l_orderkey"].max() <= tables.num_orders
+    threshold = tables.orderkey_threshold(0.5)
+    fraction = (tables.lineitem["l_orderkey"] < threshold).mean()
+    assert 0.35 < fraction < 0.65
+
+
+def test_tpch_materialize_all_formats(tmp_path):
+    files = tpch.materialize(str(tmp_path), scale=0.02)
+    for path in (files.lineitem_csv, files.orders_csv, files.lineitem_json,
+                 files.orders_json, files.orders_denormalized_json):
+        assert os.path.exists(path)
+    assert os.path.isdir(files.lineitem_columns)
+    with open(files.orders_denormalized_json) as handle:
+        first = json.loads(handle.readline())
+    assert "lineitems" in first and isinstance(first["lineitems"], list)
+    # The JSON lineitems stream has a consistent field order (fixed schema).
+    with open(files.lineitem_json) as handle:
+        keys = [tuple(json.loads(line)) for line in list(handle)[:5]]
+    assert len(set(keys)) == 1
+
+
+def test_tpch_shuffled_json_field_order(tmp_path):
+    tables = tpch.generate(scale=0.02)
+    path = str(tmp_path / "shuffled.json")
+    tpch.write_json(path, tables.lineitem, shuffle_field_order=True)
+    with open(path) as handle:
+        keys = {tuple(json.loads(line)) for line in handle}
+    assert len(keys) > 1
+
+
+# -- template queries ---------------------------------------------------------------
+
+
+def test_projection_selection_join_groupby_templates():
+    projection = templates.projection_query("lineitem", 100, "4agg", 0.5)
+    assert len(projection.projections) == 4
+    selection = templates.selection_query("lineitem", 100, 4, 0.5)
+    assert len(selection.filters) == 4
+    join = templates.join_query("orders", "lineitem", 100, "2agg", 0.2)
+    assert join.joins and len(join.projections) == 2
+    group = templates.groupby_query("lineitem", 100, 3, 0.1)
+    assert group.group_by and len(group.projections) == 4
+    unnest = templates.unnest_query("orders_denorm", 100, 0.1)
+    assert unnest.unnest is not None
+    with pytest.raises(ValueError):
+        templates.projection_query("lineitem", 100, "bogus", 0.5)
+
+
+# -- Symantec workload ------------------------------------------------------------------
+
+
+def test_symantec_materialization(tmp_path):
+    files = symantec.materialize(str(tmp_path), num_json=50, num_csv=100, num_binary=120)
+    assert os.path.exists(files.json_path)
+    assert os.path.exists(files.csv_path)
+    assert os.path.isdir(files.binary_dir)
+    with open(files.json_path) as handle:
+        objects = [json.loads(line) for line in handle]
+    assert len(objects) == 50
+    assert {"mail_id", "origin", "urls"} <= set(objects[0])
+    # Arbitrary field order across objects.
+    orders = {tuple(obj) for obj in objects}
+    assert len(orders) > 1
+
+
+def test_symantec_workload_shape(tmp_path):
+    files = symantec.materialize(str(tmp_path), num_json=50, num_csv=100, num_binary=120)
+    workload = symantec.symantec_workload(files)
+    assert len(workload) == 50
+    phases = [query.phase for query in workload]
+    assert phases.count("BIN") == 8
+    assert phases.count("CSV") == 7
+    assert phases.count("JSON") == 10
+    assert phases.count("BINCSVJSON") == 10
+    assert [query.index for query in workload] == list(range(1, 51))
+    # Q39 joins CSV and JSON (the PostgreSQL outlier of Table 3).
+    q39 = workload[38].spec
+    assert sorted(q39.datasets()) == ["classification", "spam_mails"]
+    # Every query renders to text for Proteus.
+    for query in workload:
+        text = query.spec.to_text()
+        assert text.lower().startswith(("select", "for"))
