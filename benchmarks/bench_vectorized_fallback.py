@@ -1,0 +1,126 @@
+"""Interpretation-overhead benchmark: vectorized batch tier vs Volcano.
+
+Reproduces the Fig. 7/8-style selection experiments for the *fallback* path:
+the same physical plan runs through the tuple-at-a-time Volcano interpreter
+and through the vectorized batch executor (code generation disabled in both),
+quantifying how much of the per-tuple interpretation overhead the batch tier
+removes.  The codegen tier is timed as well for context.
+
+Unlike the figure benchmarks this is a standalone script (no pytest-benchmark
+session) so CI can smoke it directly::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized_fallback.py --quick
+
+Exits non-zero if the vectorized tier fails to beat Volcano by the required
+margin or if any tier disagrees on the result rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+
+def build_dataset(directory: str, rows: int) -> str:
+    """Materialize a binary-column table shaped like the Fig. 8 experiments."""
+    from repro.core import types as t
+    from repro.storage.binary_format import write_column_table
+
+    rng = np.random.RandomState(7)
+    schema = t.make_schema(
+        {"id": "int", "qty": "int", "price": "float", "discount": "float"}
+    )
+    columns = {
+        "id": np.arange(rows, dtype=np.int64),
+        "qty": rng.randint(0, 100, size=rows).astype(np.int64),
+        "price": np.round(rng.uniform(1.0, 1000.0, size=rows), 2),
+        "discount": np.round(rng.uniform(0.0, 0.1, size=rows), 4),
+    }
+    path = f"{directory}/fallback_columns"
+    write_column_table(path, columns, schema)
+    return path
+
+
+def make_engine(path: str, *, enable_codegen: bool, enable_vectorized: bool):
+    from repro import ProteusEngine
+
+    engine = ProteusEngine(
+        enable_caching=False,
+        enable_codegen=enable_codegen,
+        enable_vectorized=enable_vectorized,
+    )
+    engine.register_binary_columns("lineitem", path)
+    return engine
+
+def time_query(engine, query: str, repetitions: int):
+    """Best-of-N hot timing (first run warms plug-in state)."""
+    result = engine.query(query)
+    best = min(
+        engine.query(query).execution_seconds for _ in range(repetitions)
+    )
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="table cardinality (default 100k)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="hot repetitions per tier (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 20k rows, 2 repetitions")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required vectorized-over-Volcano speedup")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rows = min(args.rows, 20_000)
+        args.repetitions = min(args.repetitions, 2)
+
+    query = "SELECT id, price FROM lineitem WHERE qty < 10 AND discount < 0.06"
+
+    with tempfile.TemporaryDirectory() as directory:
+        started = time.perf_counter()
+        path = build_dataset(directory, args.rows)
+        print(f"dataset: {args.rows} rows binary-column "
+              f"({time.perf_counter() - started:.2f}s to materialize)")
+        print(f"query:   {query}")
+
+        tiers = {
+            "volcano": make_engine(path, enable_codegen=False, enable_vectorized=False),
+            "vectorized": make_engine(path, enable_codegen=False, enable_vectorized=True),
+            "codegen": make_engine(path, enable_codegen=True, enable_vectorized=True),
+        }
+        timings: dict[str, float] = {}
+        rows: dict[str, list] = {}
+        for name, engine in tiers.items():
+            seconds, result = time_query(engine, query, args.repetitions)
+            if result.tier != name:
+                print(f"FAIL: expected tier {name!r}, ran {result.tier!r}")
+                return 1
+            timings[name] = seconds
+            rows[name] = sorted(result.rows)
+
+        print(f"\n{'tier':<12} {'seconds':>10} {'vs volcano':>12}")
+        for name, seconds in timings.items():
+            speedup = timings["volcano"] / seconds if seconds else float("inf")
+            print(f"{name:<12} {seconds:>10.4f} {speedup:>11.1f}x")
+
+        if rows["vectorized"] != rows["volcano"] or rows["codegen"] != rows["volcano"]:
+            print("\nFAIL: tiers disagree on result rows")
+            return 1
+        speedup = timings["volcano"] / timings["vectorized"]
+        if speedup < args.min_speedup:
+            print(f"\nFAIL: vectorized speedup {speedup:.1f}x is below the "
+                  f"required {args.min_speedup:.1f}x")
+            return 1
+        print(f"\nOK: vectorized tier closes the interpretation-overhead gap "
+              f"({speedup:.1f}x over Volcano, identical rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

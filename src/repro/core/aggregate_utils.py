@@ -8,7 +8,8 @@ back into the column expression before evaluating the remainder.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections import defaultdict
+from typing import Any, Mapping, Sequence
 
 from repro.core.expressions import (
     AggregateCall,
@@ -16,9 +17,65 @@ from repro.core.expressions import (
     Expression,
     IfThenElse,
     Literal,
+    OutputColumn,
     RecordConstruct,
     UnaryOp,
+    iter_aggregates,
 )
+
+
+class AggregateAccumulators:
+    """Shared state and finalization of running aggregates.
+
+    Both interpreters accumulate into the same per-fingerprint state (sums as
+    floats, extrema as Python values, missing inputs skipped, the bare
+    ``count`` counting every row) — only the update granularity differs: one
+    tuple at a time in the Volcano executor, one batch at a time in the
+    vectorized executor.  Each subclass supplies its own ``update``; keeping
+    the state and ``finalize`` here guarantees the tiers cannot drift apart.
+    """
+
+    def __init__(self, columns: Sequence[OutputColumn]):
+        self.aggregates: list[AggregateCall] = []
+        seen: set[tuple] = set()
+        for column in columns:
+            for aggregate in iter_aggregates(column.expression):
+                fingerprint = aggregate.fingerprint()
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    self.aggregates.append(aggregate)
+        self.count = 0
+        # Sums start at integer 0 so integer inputs accumulate exactly
+        # (Python ints are arbitrary precision); floats promote on first add.
+        self.sums: dict[tuple, Any] = defaultdict(int)
+        self.mins: dict[tuple, Any] = {}
+        self.maxs: dict[tuple, Any] = {}
+        self.bools_and: dict[tuple, bool] = defaultdict(lambda: True)
+        self.bools_or: dict[tuple, bool] = defaultdict(lambda: False)
+        self.counts: dict[tuple, int] = defaultdict(int)
+
+    def finalize(self) -> dict[tuple, Any]:
+        results: dict[tuple, Any] = {}
+        for aggregate in self.aggregates:
+            fingerprint = aggregate.fingerprint()
+            if aggregate.func == "count":
+                results[fingerprint] = (
+                    self.count if aggregate.argument is None else self.counts[fingerprint]
+                )
+            elif aggregate.func == "sum":
+                results[fingerprint] = self.sums[fingerprint]
+            elif aggregate.func == "avg":
+                count = self.counts[fingerprint]
+                results[fingerprint] = self.sums[fingerprint] / count if count else float("nan")
+            elif aggregate.func == "max":
+                results[fingerprint] = self.maxs.get(fingerprint)
+            elif aggregate.func == "min":
+                results[fingerprint] = self.mins.get(fingerprint)
+            elif aggregate.func == "and":
+                results[fingerprint] = self.bools_and[fingerprint]
+            elif aggregate.func == "or":
+                results[fingerprint] = self.bools_or[fingerprint]
+        return results
 
 
 def replace_aggregates(
@@ -58,3 +115,13 @@ def replace_aggregates(
 def literal_results(values: Mapping[tuple, object]) -> dict[tuple, Expression]:
     """Wrap computed aggregate values as literal expressions."""
     return {fingerprint: Literal(value) for fingerprint, value in values.items()}
+
+
+def unique_output_columns(columns: Sequence[OutputColumn]) -> list[OutputColumn]:
+    """First occurrence per output name.  Result columns are keyed by name,
+    and the planner rejects duplicate names over *different* expressions, so
+    evaluating the first occurrence covers every duplicate."""
+    seen: dict[str, OutputColumn] = {}
+    for column in columns:
+        seen.setdefault(column.name, column)
+    return list(seen.values())

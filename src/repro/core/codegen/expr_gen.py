@@ -56,24 +56,33 @@ def generate_expression(expression: Expression, buffers: BufferMap) -> str:
         left = generate_expression(expression.left, buffers)
         right = generate_expression(expression.right, buffers)
         if expression.op in _ARITHMETIC:
-            return f"({left} {expression.op} {right})"
+            # Null-aware helper: None operands (e.g. all-missing group
+            # extrema) propagate instead of raising; numeric buffers take the
+            # plain NumPy operator inside.
+            return f"rt.arith({expression.op!r}, {left}, {right})"
         if expression.op in _COMPARISON_TRANSLATION:
-            return f"({left} {_COMPARISON_TRANSLATION[expression.op]} {right})"
+            # Null-aware helper: missing operands (None aggregate results,
+            # NaN-encoded nulls) compare false, matching the interpreted
+            # tiers — plain operators would raise on None or qualify NaN
+            # under !=.
+            return f"rt.cmp({expression.op!r}, {left}, {right})"
+        # Operands go through rt.mask so bare (non-boolean) operands coerce
+        # elementwise and missing values are false, as in the other tiers.
         if expression.op == "and":
-            return f"(({left}) & ({right}))"
+            return f"(rt.mask({left}) & rt.mask({right}))"
         if expression.op == "or":
-            return f"(({left}) | ({right}))"
+            return f"(rt.mask({left}) | rt.mask({right}))"
         raise CodegenError(f"unsupported binary operator {expression.op!r}")
     if isinstance(expression, UnaryOp):
         operand = generate_expression(expression.operand, buffers)
         if expression.op == "-":
-            return f"(-({operand}))"
-        return f"(~np.asarray({operand}, dtype=bool))"
+            return f"rt.neg({operand})"
+        return f"(~rt.mask({operand}))"
     if isinstance(expression, IfThenElse):
         condition = generate_expression(expression.condition, buffers)
         then = generate_expression(expression.then, buffers)
         otherwise = generate_expression(expression.otherwise, buffers)
-        return f"np.where({condition}, {then}, {otherwise})"
+        return f"np.where(rt.mask({condition}), {then}, {otherwise})"
     if isinstance(expression, AggregateCall):
         raise CodegenError(
             "aggregate calls are handled by the Reduce/Nest generators, not by "

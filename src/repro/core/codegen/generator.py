@@ -191,7 +191,7 @@ class CodeGenerator:
     ) -> _Buffers:
         mask_source = generate_expression(predicate, buffers.columns)
         mask_var = ctx.fresh("mask")
-        ctx.emit(f"{mask_var} = np.asarray({mask_source}, dtype=bool)")
+        ctx.emit(f"{mask_var} = rt.mask({mask_source})")
         filtered = _Buffers()
         for key, variable in buffers.columns.items():
             new_var = ctx.fresh("sel")
@@ -348,7 +348,9 @@ class CodeGenerator:
             for column in node.columns:
                 source = generate_expression(column.expression, buffers.columns)
                 variable = ctx.fresh("out_" + column.name)
-                ctx.emit(f"{variable} = np.asarray({source})")
+                # rt.column broadcasts constant-only heads (0-d results) to
+                # the row count so literal projections keep their cardinality.
+                ctx.emit(f"{variable} = rt.column({source}, {buffers.count_var})")
                 assignments.append((column.name, variable))
             ctx.emit(f"rt.record_output({buffers.count_var})")
             self._emit_return(assignments, ctx)

@@ -40,7 +40,12 @@ class ExecutionProfile:
     join_output_rows: int = 0
     groups_built: int = 0
     output_rows: int = 0
+    batches_processed: int = 0
     used_generated_code: bool = True
+    #: Which execution tier served the query: "codegen" (the specialized
+    #: per-query program), "vectorized" (the batch interpreter) or "volcano"
+    #: (the tuple-at-a-time interpreter).
+    execution_tier: str = "codegen"
 
     def merge(self, other: "ExecutionProfile") -> None:
         self.rows_scanned += other.rows_scanned
@@ -50,6 +55,7 @@ class ExecutionProfile:
         self.join_output_rows += other.join_output_rows
         self.groups_built += other.groups_built
         self.output_rows += other.output_rows
+        self.batches_processed += other.batches_processed
 
 
 class QueryRuntime:
@@ -253,6 +259,36 @@ class QueryRuntime:
 
     def scalar_agg(self, func: str, values: np.ndarray | None, count: int):
         return radix.scalar_aggregate(func, values, count)
+
+    # -- null-aware expression helpers -----------------------------------------------------
+
+    def mask(self, values) -> np.ndarray:
+        """Coerce a predicate result to a boolean selection mask (missing
+        inputs are false); shared with the vectorized executor."""
+        return radix.bool_mask(values)
+
+    def column(self, values, count) -> np.ndarray:
+        """Materialize an output-column result to ``count`` rows: constant
+        (0-d) heads broadcast, full columns pass through."""
+        array = np.asarray(values)
+        if array.ndim == 0:
+            return np.broadcast_to(array, (int(count),))
+        return array
+
+    def cmp(self, op: str, left, right) -> np.ndarray:
+        """Null-aware vectorized comparison; shared with the vectorized
+        executor."""
+        return radix.null_safe_compare(op, left, right)
+
+    def arith(self, op: str, left, right):
+        """Null-aware vectorized arithmetic; shared with the vectorized
+        executor."""
+        return radix.null_safe_arith(op, left, right)
+
+    def neg(self, value):
+        """Null-aware vectorized unary minus; shared with the vectorized
+        executor."""
+        return radix.null_safe_neg(value)
 
     # -- misc ----------------------------------------------------------------------------
 

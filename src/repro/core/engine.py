@@ -11,10 +11,22 @@ the paper describes:
    algebra, which the optimizer lowers to a physical plan (selection/
    projection pushdown, join ordering, access-path selection against the
    caches),
-3. the code generator collapses the plan into one specialized program, which
-   runs against the query runtime (falling back to the Volcano interpreter for
-   shapes the generator does not cover, or when code generation is disabled
-   for ablation),
+3. the plan executes through a three-tier cascade:
+
+   * **codegen** — the code generator collapses the plan into one specialized
+     program executed against the query runtime (§5.1, the engine-per-query),
+   * **vectorized** — shapes the generator does not cover (and every query
+     when code generation is disabled for ablation) run through the
+     vectorized batch interpreter, which evaluates the same plan over NumPy
+     columnar batches instead of per-tuple environments,
+   * **volcano** — shapes the batch interpreter cannot serve either (record
+     construction in output columns, outer joins/unnests, null group keys)
+     fall back to the tuple-at-a-time Volcano interpreter, the paper's
+     "static general-purpose engine" baseline.
+
+   The ablation flags ``enable_codegen`` and ``enable_vectorized`` disable the
+   first and second tier respectively; ``ExecutionProfile.execution_tier``
+   records which tier actually served each query.
 4. caches are populated as a side effect and reused by later queries.
 """
 
@@ -29,11 +41,13 @@ import numpy as np
 from repro.caching.manager import CacheManager
 from repro.caching.policies import CachingPolicy, DefaultCachingPolicy, NoCachingPolicy
 from repro.core import types as t
+from repro.core.types import python_value as _python_value
 from repro.core.binder import bind_comprehension
 from repro.core.calculus import Comprehension
 from repro.core.codegen.generator import CodeGenerator
 from repro.core.codegen.runtime import ExecutionProfile, QueryRuntime
 from repro.core.comprehension_parser import parse_comprehension
+from repro.core.executor.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
 from repro.core.executor.volcano import VolcanoExecutor
 from repro.core.normalizer import normalize
 from repro.core.optimizer.planner import Planner
@@ -41,7 +55,13 @@ from repro.core.optimizer.statistics import StatisticsManager
 from repro.core.physical import PhysNest, PhysReduce, PhysicalPlan
 from repro.core.sql_parser import parse_sql
 from repro.core.translator import translate
-from repro.errors import CodegenError, ExecutionError, ProteusError
+from repro.errors import (
+    CodegenError,
+    ExecutionError,
+    PlanningError,
+    ProteusError,
+    VectorizationError,
+)
 from repro.plugins.base import InputPlugin
 from repro.plugins.binary_col_plugin import BinaryColumnPlugin
 from repro.plugins.binary_row_plugin import BinaryRowPlugin
@@ -60,6 +80,9 @@ class QueryResult:
     rows: list[tuple]
     execution_seconds: float = 0.0
     used_codegen: bool = True
+    #: Which execution tier served the query: "codegen", "vectorized" or
+    #: "volcano".
+    tier: str = "codegen"
     profile: ExecutionProfile | None = None
 
     def __len__(self) -> int:
@@ -100,12 +123,16 @@ class ProteusEngine:
         cache_budget_bytes: int = 256 * 1024 * 1024,
         enable_caching: bool = True,
         enable_codegen: bool = True,
+        enable_vectorized: bool = True,
         enable_join_reordering: bool = True,
+        vectorized_batch_size: int = DEFAULT_BATCH_SIZE,
         caching_policy: CachingPolicy | None = None,
     ):
         self.memory = MemoryManager(cache_budget_bytes=cache_budget_bytes)
         self.catalog = Catalog()
         self.enable_codegen = enable_codegen
+        self.enable_vectorized = enable_vectorized
+        self.vectorized_batch_size = vectorized_batch_size
         self.enable_caching = enable_caching
         policy = caching_policy
         if policy is None:
@@ -191,13 +218,27 @@ class ProteusEngine:
         analyze: bool,
     ) -> Dataset:
         plugin = self.plugins[data_format]
+        if name in self.catalog:
+            # Re-registration under an existing name: drop the old plug-in
+            # state, any caches built from the previous data and every
+            # compiled program (they bake Dataset objects in as constants),
+            # exactly as ``unregister`` would — otherwise a compiled program
+            # or cache entry from the old path/schema could serve stale
+            # results.  A brand-new name cannot affect existing programs.
+            old = self.catalog.get(name)
+            old_plugin = self.plugins.get(old.format)
+            if old_plugin is not None and hasattr(old_plugin, "invalidate"):
+                old_plugin.invalidate(name)
+            if self.cache_manager is not None:
+                self.cache_manager.invalidate_dataset(name)
+            self._compiled.clear()
         if schema is not None and not isinstance(schema, t.RecordType):
             schema = t.make_schema(schema)
         dataset = Dataset(name=name, format=data_format, path=path,
                           schema=schema, options=options)  # type: ignore[arg-type]
         if schema is None:
             dataset.schema = plugin.infer_schema(dataset)
-        self.catalog.register(dataset)
+        self.catalog.register(dataset, replace=True)
         if analyze:
             self.analyze(name)
         self._parsed.clear()
@@ -277,6 +318,7 @@ class ProteusEngine:
     def _plan(self, comprehension: Comprehension) -> PhysicalPlan:
         logical = translate(comprehension)
         physical = self.planner.plan(logical)
+        _validate_output_columns(physical)
         self.last_plan = physical
         return physical
 
@@ -284,16 +326,26 @@ class ProteusEngine:
         self, physical: PhysicalPlan, comprehension: Comprehension
     ) -> QueryResult:
         started = time.perf_counter()
-        used_codegen = False
-        profile: ExecutionProfile
+        executed: tuple[list[str], dict[str, Any], ExecutionProfile] | None = None
         if self.enable_codegen:
             try:
-                names, columns, profile = self._execute_generated(physical)
-                used_codegen = True
-            except CodegenError:
-                names, columns, profile = self._execute_volcano(physical)
-        else:
-            names, columns, profile = self._execute_volcano(physical)
+                executed = self._execute_generated(physical)
+            except (CodegenError, VectorizationError):
+                # CodegenError: the generator does not cover the plan shape.
+                # VectorizationError: the columnar kernels rejected the data
+                # (e.g. keys containing nulls) at run time.  The vectorized
+                # tier still gets its attempt — it pre-filters some shapes
+                # the generated code feeds to the kernels raw (e.g. NaN probe
+                # keys against an integer build side).
+                executed = None
+        if executed is None and self.enable_vectorized:
+            try:
+                executed = self._execute_vectorized(physical)
+            except VectorizationError:
+                executed = None
+        if executed is None:
+            executed = self._execute_volcano(physical)
+        names, columns, profile = executed
         rows = _columns_to_rows(names, columns)
         rows = _apply_order_and_limit(names, rows, comprehension)
         elapsed = time.perf_counter() - started
@@ -302,7 +354,8 @@ class ProteusEngine:
             columns=names,
             rows=rows,
             execution_seconds=elapsed,
-            used_codegen=used_codegen,
+            used_codegen=profile.execution_tier == "codegen",
+            tier=profile.execution_tier,
             profile=profile,
         )
 
@@ -319,14 +372,34 @@ class ProteusEngine:
         output = generated(runtime)
         names = _output_names(physical)
         runtime.profile.used_generated_code = True
+        runtime.profile.execution_tier = "codegen"
         return names, output, runtime.profile
+
+    def _execute_vectorized(
+        self, physical: PhysicalPlan
+    ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
+        executor = VectorizedExecutor(
+            self.catalog, self.plugins, batch_size=self.vectorized_batch_size
+        )
+        names, columns = executor.execute(physical)
+        profile = ExecutionProfile(
+            used_generated_code=False, execution_tier="vectorized"
+        )
+        profile.rows_scanned = executor.rows_scanned
+        profile.batches_processed = executor.batches_processed
+        profile.join_build_rows = executor.join_build_rows
+        profile.join_output_rows = executor.join_output_rows
+        profile.groups_built = executor.groups_built
+        profile.output_rows = executor.output_rows
+        self.last_generated_source = None
+        return names, columns, profile
 
     def _execute_volcano(
         self, physical: PhysicalPlan
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VolcanoExecutor(self.catalog, self.plugins)
         names, columns = executor.execute(physical)
-        profile = ExecutionProfile(used_generated_code=False)
+        profile = ExecutionProfile(used_generated_code=False, execution_tier="volcano")
         profile.rows_scanned = executor.tuples_processed
         self.last_generated_source = None
         return names, columns, profile
@@ -366,26 +439,80 @@ def _output_names(physical: PhysicalPlan) -> list[str]:
     raise ExecutionError("plan root must be Reduce or Nest")
 
 
+def _validate_output_columns(physical: PhysicalPlan) -> None:
+    """Reject plans whose output columns share a name but compute different
+    expressions: every executor keys its result columns by name, so one of
+    the two would silently shadow the other (e.g. ``SELECT a.id, b.id``
+    without aliases)."""
+    if not isinstance(physical, (PhysReduce, PhysNest)):
+        return
+    seen: dict[str, tuple] = {}
+    for column in physical.columns:
+        fingerprint = column.expression.fingerprint()
+        previous = seen.get(column.name)
+        if previous is not None and previous != fingerprint:
+            raise PlanningError(
+                f"duplicate output column name {column.name!r} refers to "
+                "different expressions; give each a distinct alias"
+            )
+        seen[column.name] = fingerprint
+
+
 def _columns_to_rows(names: Sequence[str], columns: Mapping[str, Any]) -> list[tuple]:
+    """Assemble named output columns into result rows.
+
+    Only genuine scalars (aggregate results, literals: plain Python scalars,
+    NumPy scalars and 0-d arrays) are broadcast to the row count; a missing
+    output column or multi-row columns of differing lengths indicate an
+    executor shape bug and raise instead of being papered over.
+    """
     values: list[list] = []
-    length = 0
+    scalars: list[bool] = []
     for name in names:
-        column = columns.get(name)
-        if isinstance(column, np.ndarray):
+        if name not in columns:
+            raise ExecutionError(
+                f"executor produced no output column {name!r}; "
+                f"got columns: {sorted(columns)}"
+            )
+        column = columns[name]
+        scalar = False
+        if isinstance(column, np.ndarray) and column.ndim == 0:
+            column = [column.item()]
+            scalar = True
+        elif isinstance(column, np.ndarray):
             column = column.tolist()
         elif isinstance(column, np.generic):
             column = [column.item()]
+            scalar = True
         elif isinstance(column, (int, float, bool, str)) or column is None:
             column = [column]
+            scalar = True
         values.append(list(column))
-        length = max(length, len(column))
+        scalars.append(scalar)
+    row_lengths = {len(column) for column, scalar in zip(values, scalars) if not scalar}
+    if len(row_lengths) > 1:
+        shapes = ", ".join(
+            f"{name}={len(column)}"
+            for name, column, scalar in zip(names, values, scalars)
+            if not scalar
+        )
+        raise ExecutionError(f"output columns have mismatched lengths: {shapes}")
+    length = row_lengths.pop() if row_lengths else (1 if names else 0)
     normalized = []
-    for column in values:
-        if len(column) == 1 and length > 1:
+    for column, scalar in zip(values, scalars):
+        if scalar and length != 1:
             column = column * length
         normalized.append(column)
-    rows = [tuple(_python_value(column[i]) for column in normalized) for i in range(length)]
+    rows = [tuple(_output_value(column[i]) for column in normalized) for i in range(length)]
     return rows
+
+
+def _output_value(value: Any) -> Any:
+    """Normalize one result cell: unbox NumPy scalars and surface missing
+    values as ``None`` — NaN is only the float *buffers'* encoding of missing
+    (see ``types.is_missing``); result rows use ``None`` in every tier."""
+    value = _python_value(value)
+    return None if t.is_missing(value) else value
 
 
 def _apply_order_and_limit(
@@ -394,7 +521,10 @@ def _apply_order_and_limit(
     if comprehension.order_by:
         for column, ascending in reversed(comprehension.order_by):
             if column not in names:
-                continue
+                raise ExecutionError(
+                    f"ORDER BY column {column!r} is not part of the result "
+                    f"projection; output columns: {list(names)}"
+                )
             index = list(names).index(column)
             rows = sorted(rows, key=lambda row: (row[index] is None, row[index]),
                           reverse=not ascending)
@@ -403,7 +533,3 @@ def _apply_order_and_limit(
     return rows
 
 
-def _python_value(value: Any) -> Any:
-    if isinstance(value, np.generic):
-        return value.item()
-    return value

@@ -1,1 +1,2 @@
-"""Execution back-ends: radix join/grouping kernels and the Volcano interpreter."""
+"""Execution back-ends: radix join/grouping kernels, the vectorized batch
+interpreter and the Volcano tuple-at-a-time interpreter."""

@@ -26,14 +26,14 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-from repro.core.aggregate_utils import literal_results, replace_aggregates
-from repro.core.expressions import (
-    AggregateCall,
-    Expression,
-    OutputColumn,
-    contains_aggregate,
-    iter_aggregates,
+from repro.core.aggregate_utils import (
+    AggregateAccumulators,
+    literal_results,
+    replace_aggregates,
+    unique_output_columns,
 )
+from repro.core.types import is_missing, truthy
+from repro.core.expressions import contains_aggregate
 from repro.core.physical import (
     PhysHashJoin,
     PhysNest,
@@ -45,7 +45,7 @@ from repro.core.physical import (
     PhysicalPlan,
 )
 from repro.errors import ExecutionError
-from repro.plugins.base import InputPlugin
+from repro.plugins.base import InputPlugin, dig_path as _dig
 from repro.storage.catalog import Catalog
 
 
@@ -82,7 +82,7 @@ class VolcanoExecutor:
             predicate = plan.predicate
             for env in self._iterate(plan.child):
                 self.predicate_evaluations += 1
-                if predicate.evaluate(env):
+                if truthy(predicate.evaluate(env)):
                     yield env
         elif isinstance(plan, PhysUnnest):
             yield from self._iterate_unnest(plan)
@@ -119,7 +119,7 @@ class VolcanoExecutor:
                 child_env[plan.var] = element
                 if plan.predicate is not None:
                     self.predicate_evaluations += 1
-                    if not plan.predicate.evaluate(child_env):
+                    if not truthy(plan.predicate.evaluate(child_env)):
                         continue
                 matched = True
                 self.tuples_processed += 1
@@ -132,16 +132,21 @@ class VolcanoExecutor:
     def _iterate_hash_join(self, plan: PhysHashJoin) -> Iterator[dict[str, Any]]:
         build: dict[Any, list[dict[str, Any]]] = defaultdict(list)
         for env in self._iterate(plan.left):
-            build[plan.left_key.evaluate(env)].append(env)
+            key = plan.left_key.evaluate(env)
+            if is_missing(key):
+                # Missing keys join nothing: equality with missing is false
+                # in every tier (dict identity would spuriously pair Nones).
+                continue
+            build[key].append(env)
         for env in self._iterate(plan.right):
             key = plan.right_key.evaluate(env)
-            matches = build.get(key, [])
+            matches = build.get(key, []) if not is_missing(key) else []
             matched = False
             for left_env in matches:
                 combined = {**left_env, **env}
                 if plan.residual is not None:
                     self.predicate_evaluations += 1
-                    if not plan.residual.evaluate(combined):
+                    if not truthy(plan.residual.evaluate(combined)):
                         continue
                 matched = True
                 self.tuples_processed += 1
@@ -156,7 +161,7 @@ class VolcanoExecutor:
                 combined = {**left_env, **right_env}
                 if plan.predicate is not None:
                     self.predicate_evaluations += 1
-                    if not plan.predicate.evaluate(combined):
+                    if not truthy(plan.predicate.evaluate(combined)):
                         continue
                 self.tuples_processed += 1
                 yield combined
@@ -167,9 +172,10 @@ class VolcanoExecutor:
         names = [column.name for column in plan.columns]
         aggregated = any(contains_aggregate(column.expression) for column in plan.columns)
         if not aggregated:
+            unique_columns = unique_output_columns(plan.columns)
             columns: dict[str, list] = {name: [] for name in names}
             for env in self._iterate(plan.child):
-                for column in plan.columns:
+                for column in unique_columns:
                     columns[column.name].append(column.expression.evaluate(env))
             return names, columns
         accumulators = _AggregateAccumulators(plan.columns)
@@ -192,11 +198,12 @@ class VolcanoExecutor:
                 groups[key] = _AggregateAccumulators(plan.columns)
                 group_envs[key] = env
             groups[key].update(env)
+        unique_columns = unique_output_columns(plan.columns)
         columns: dict[str, list] = {name: [] for name in names}
         for key, accumulators in groups.items():
             values = accumulators.finalize()
             env = group_envs[key]
-            for column in plan.columns:
+            for column in unique_columns:
                 if contains_aggregate(column.expression):
                     final = replace_aggregates(column.expression, literal_results(values))
                     columns[column.name].append(final.evaluate({}))
@@ -205,25 +212,9 @@ class VolcanoExecutor:
         return names, columns
 
 
-class _AggregateAccumulators:
-    """Running aggregates for one group (or for the global reduction)."""
-
-    def __init__(self, columns: list[OutputColumn]):
-        self.aggregates: list[AggregateCall] = []
-        seen: set[tuple] = set()
-        for column in columns:
-            for aggregate in iter_aggregates(column.expression):
-                fingerprint = aggregate.fingerprint()
-                if fingerprint not in seen:
-                    seen.add(fingerprint)
-                    self.aggregates.append(aggregate)
-        self.count = 0
-        self.sums: dict[tuple, float] = defaultdict(float)
-        self.mins: dict[tuple, Any] = {}
-        self.maxs: dict[tuple, Any] = {}
-        self.bools_and: dict[tuple, bool] = defaultdict(lambda: True)
-        self.bools_or: dict[tuple, bool] = defaultdict(lambda: False)
-        self.counts: dict[tuple, int] = defaultdict(int)
+class _AggregateAccumulators(AggregateAccumulators):
+    """Running aggregates for one group (or for the global reduction),
+    updated one tuple environment at a time."""
 
     def update(self, env: dict[str, Any]) -> None:
         self.count += 1
@@ -232,7 +223,7 @@ class _AggregateAccumulators:
             if aggregate.func == "count" and aggregate.argument is None:
                 continue
             value = aggregate.argument.evaluate(env) if aggregate.argument is not None else None
-            if value is None:
+            if is_missing(value):
                 continue
             self.counts[fingerprint] += 1
             if aggregate.func in ("sum", "avg"):
@@ -248,36 +239,4 @@ class _AggregateAccumulators:
             elif aggregate.func == "or":
                 self.bools_or[fingerprint] = self.bools_or[fingerprint] or bool(value)
 
-    def finalize(self) -> dict[tuple, Any]:
-        results: dict[tuple, Any] = {}
-        for aggregate in self.aggregates:
-            fingerprint = aggregate.fingerprint()
-            if aggregate.func == "count":
-                results[fingerprint] = (
-                    self.count if aggregate.argument is None else self.counts[fingerprint]
-                )
-            elif aggregate.func == "sum":
-                results[fingerprint] = self.sums[fingerprint]
-            elif aggregate.func == "avg":
-                count = self.counts[fingerprint]
-                results[fingerprint] = self.sums[fingerprint] / count if count else float("nan")
-            elif aggregate.func == "max":
-                results[fingerprint] = self.maxs.get(fingerprint)
-            elif aggregate.func == "min":
-                results[fingerprint] = self.mins.get(fingerprint)
-            elif aggregate.func == "and":
-                results[fingerprint] = self.bools_and[fingerprint]
-            elif aggregate.func == "or":
-                results[fingerprint] = self.bools_or[fingerprint]
-        return results
 
-
-def _dig(value: Any, path: tuple[str, ...]) -> Any:
-    for step in path:
-        if value is None:
-            return None
-        if isinstance(value, Mapping):
-            value = value.get(step)
-        else:
-            value = getattr(value, step, None)
-    return value

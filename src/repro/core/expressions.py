@@ -136,14 +136,7 @@ class FieldRef(Expression):
             value = env[self.binding]
         except KeyError as exc:
             raise ExecutionError(f"unbound variable {self.binding!r}") from exc
-        for step in self.path:
-            if value is None:
-                return None
-            if isinstance(value, Mapping):
-                value = value.get(step)
-            else:
-                value = getattr(value, step, None)
-        return value
+        return t.dig_path(value, self.path)
 
     def result_type(self, scope: Mapping[str, t.DataType]) -> t.DataType:
         try:
@@ -165,12 +158,35 @@ class FieldRef(Expression):
 # Operators
 # ---------------------------------------------------------------------------
 
+def _divide(a, b):
+    """Division matching the columnar tiers' NumPy semantics: a zero divisor
+    yields ±inf / NaN instead of raising ZeroDivisionError."""
+    try:
+        return a / b
+    except ZeroDivisionError:
+        if a > 0:
+            return float("inf")
+        if a < 0:
+            return float("-inf")
+        return float("nan")
+
+
+def _modulo(a, b):
+    """Modulo matching NumPy: ``x % 0`` is 0 for ints and NaN for floats."""
+    try:
+        return a % b
+    except ZeroDivisionError:
+        if isinstance(a, int) and isinstance(b, int):
+            return 0
+        return float("nan")
+
+
 _ARITHMETIC_OPS: dict[str, Callable[[object, object], object]] = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
     "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b,
-    "%": lambda a, b: a % b,
+    "/": _divide,
+    "%": _modulo,
 }
 
 _COMPARISON_OPS: dict[str, Callable[[object, object], bool]] = {
@@ -187,6 +203,12 @@ _LOGICAL_OPS = ("and", "or")
 ARITHMETIC_OPS = tuple(_ARITHMETIC_OPS)
 COMPARISON_OPS = tuple(_COMPARISON_OPS)
 LOGICAL_OPS = _LOGICAL_OPS
+
+#: Scalar arithmetic/comparison functions shared with the columnar kernels so
+#: every tier evaluates operators identically (arithmetic carries the
+#: NumPy-aligned zero-divisor semantics).
+ARITHMETIC_FUNCS = dict(_ARITHMETIC_OPS)
+COMPARISON_FUNCS = dict(_COMPARISON_OPS)
 
 
 class BinaryOp(Expression):
@@ -210,15 +232,19 @@ class BinaryOp(Expression):
 
     def evaluate(self, env: Mapping[str, object]) -> object:
         if self.op == "and":
-            return bool(self.left.evaluate(env)) and bool(self.right.evaluate(env))
+            return t.truthy(self.left.evaluate(env)) and t.truthy(self.right.evaluate(env))
         if self.op == "or":
-            return bool(self.left.evaluate(env)) or bool(self.right.evaluate(env))
+            return t.truthy(self.left.evaluate(env)) or t.truthy(self.right.evaluate(env))
         left = self.left.evaluate(env)
         right = self.right.evaluate(env)
-        if left is None or right is None:
-            return None if self.op in _ARITHMETIC_OPS else False
         if self.op in _ARITHMETIC_OPS:
+            if left is None or right is None:
+                return None
             return _ARITHMETIC_OPS[self.op](left, right)
+        # Comparisons with a missing operand (None, or NaN in float data) are
+        # false in every execution tier.
+        if t.is_missing(left) or t.is_missing(right):
+            return False
         return _COMPARISON_OPS[self.op](left, right)
 
     def result_type(self, scope: Mapping[str, t.DataType]) -> t.DataType:
@@ -253,7 +279,7 @@ class UnaryOp(Expression):
         value = self.operand.evaluate(env)
         if self.op == "-":
             return None if value is None else -value
-        return not bool(value)
+        return not t.truthy(value)
 
     def result_type(self, scope: Mapping[str, t.DataType]) -> t.DataType:
         if self.op == "not":
@@ -310,7 +336,7 @@ class IfThenElse(Expression):
         )
 
     def evaluate(self, env: Mapping[str, object]) -> object:
-        if self.condition.evaluate(env):
+        if t.truthy(self.condition.evaluate(env)):
             return self.then.evaluate(env)
         return self.otherwise.evaluate(env)
 

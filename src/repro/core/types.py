@@ -109,6 +109,44 @@ _PRIMITIVES_BY_NAME: dict[str, DataType] = {
 }
 
 
+def is_missing(value: object) -> bool:
+    """Whether a scalar is a missing value in the engine's encoding: ``None``
+    in object buffers / tuple environments, NaN in float buffers (and in raw
+    float data).  This is the single engine-wide definition of "missing",
+    shared by every execution tier."""
+    return value is None or (isinstance(value, float) and value != value)
+
+
+def truthy(value: object) -> bool:
+    """Predicate truthiness with missing values false, identically in every
+    execution tier."""
+    return not is_missing(value) and bool(value)
+
+
+def python_value(value: object) -> object:
+    """Unbox NumPy scalars to plain Python values (result assembly and
+    tuple-at-a-time interop)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def dig_path(value: object, path: Sequence[str]) -> object:
+    """Walk a (possibly nested) record along a field path; missing steps and
+    non-record intermediates yield ``None``.  This is the single
+    nested-access rule shared by expression evaluation, the Volcano
+    interpreter, the JSON plug-in and the batch-scan shim.  No ``getattr``
+    fallback: raw-data values whose field names collide with builtin
+    attributes (``count``, ``items``, ...) must not resolve to bound
+    methods."""
+    for step in path:
+        if isinstance(value, Mapping):
+            value = value.get(step)
+        else:
+            return None
+    return value
+
+
 def primitive_type(name: str) -> DataType:
     """Look up a primitive type by name (``"int"``, ``"float"``, ...)."""
     try:

@@ -36,11 +36,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.core import types as t
+# Canonical nested-access rule, re-exported for plug-in authors.
+from repro.core.types import dig_path  # noqa: F401
 from repro.errors import PluginError
 from repro.storage.catalog import Dataset, DatasetStatistics
 from repro.storage.memory import MemoryManager
@@ -156,6 +158,48 @@ class InputPlugin(ABC):
             f"format {self.format_name!r} does not contain nested collections"
         )
 
+    def scan_batches(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        batch_size: int = 4096,
+    ) -> Iterator[ScanBuffers]:
+        """Yield the requested field paths as a stream of columnar batches.
+
+        This is the access path of the vectorized batch executor: instead of
+        one dict per tuple (``iterate_rows``) or one monolithic buffer per
+        column (``scan_columns``), the scan produces :class:`ScanBuffers` of at
+        most ``batch_size`` rows each, with OIDs carrying the global row
+        positions.  The default implementation is a per-tuple shim over
+        ``iterate_rows`` — correct for every plug-in but paying the per-tuple
+        cost once; formats with structural indexes or native columns override
+        it with genuinely batched extraction.  Empty datasets yield no batches.
+        """
+        paths = [tuple(path) for path in paths]
+        pending: list[dict] = []
+        start = 0
+        for record in self.iterate_rows(dataset, paths):
+            pending.append(record)
+            if len(pending) >= batch_size:
+                yield self._shim_batch(pending, paths, start)
+                start += len(pending)
+                pending = []
+        if pending:
+            yield self._shim_batch(pending, paths, start)
+
+    def _shim_batch(
+        self, records: list[dict], paths: Sequence[FieldPath], start: int
+    ) -> ScanBuffers:
+        buffers = ScanBuffers(
+            count=len(records),
+            oids=np.arange(start, start + len(records), dtype=np.int64),
+        )
+        for path in paths:
+            buffers.columns[tuple(path)] = values_to_array(
+                [dig_path(record, path) for record in records]
+            )
+        return buffers
+
     # -- tuple-at-a-time access (Volcano executor, lazy expression evaluation)
 
     @abstractmethod
@@ -255,3 +299,36 @@ def require_flat_path(path: FieldPath) -> str:
             f"flat formats have no nested fields; got path {'.'.join(path)!r}"
         )
     return path[0]
+
+
+def values_to_array(values: list) -> np.ndarray:
+    """Pack extracted Python values into the tightest NumPy column.
+
+    Missing values (``None``) force an object buffer so tuple-at-a-time null
+    semantics survive the round-trip through the batch executor; clean numeric
+    columns specialize to ``int64`` / ``float64`` / ``bool`` buffers.
+    """
+    if not values:
+        return np.zeros(0, dtype=np.float64)
+    if not any(value is None for value in values):
+        if all(isinstance(value, bool) for value in values):
+            return np.asarray(values, dtype=np.bool_)
+        if all(
+            isinstance(value, int) and not isinstance(value, bool) for value in values
+        ):
+            try:
+                return np.asarray(values, dtype=np.int64)
+            except OverflowError:
+                # Ints beyond int64 stay exact in an object buffer (a float64
+                # cast would round them).
+                pass
+        elif all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in values
+        ):
+            return np.asarray(values, dtype=np.float64)
+    array = np.empty(len(values), dtype=object)
+    array[:] = values
+    return array
+
+

@@ -69,6 +69,28 @@ class BinaryColumnPlugin(InputPlugin):
             buffers.columns[path] = np.asarray(table.column(name))
         return buffers
 
+    def scan_batches(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        batch_size: int = 4096,
+    ):
+        """Native batched scan: each batch is a zero-copy slice of the
+        memory-mapped column arrays."""
+        table = self._table(dataset)
+        paths = [tuple(path) for path in paths]
+        arrays = {
+            path: np.asarray(table.column(require_flat_path(path))) for path in paths
+        }
+        for start in range(0, table.row_count, batch_size):
+            stop = min(start + batch_size, table.row_count)
+            buffers = ScanBuffers(
+                count=stop - start, oids=np.arange(start, stop, dtype=np.int64)
+            )
+            for path in paths:
+                buffers.columns[path] = arrays[path][start:stop]
+            yield buffers
+
     # -- tuple-at-a-time access -----------------------------------------------------
 
     def iterate_rows(

@@ -38,7 +38,17 @@ def _convert_int(text: str) -> int:
     try:
         return int(text)
     except ValueError:
-        return int(float(text))
+        # Exact decimal parse: a float round-trip would round integers above
+        # 2**53 (e.g. "9007199254740993.0").
+        from decimal import Decimal, InvalidOperation
+
+        try:
+            value = Decimal(text.strip())
+        except InvalidOperation:
+            return int(float(text))
+        # int() truncates toward zero, preserving the old int(float(...))
+        # behavior for non-integral text while staying exact above 2**53.
+        return int(value)
 
 
 def _convert_date(text: str) -> int:
@@ -66,6 +76,17 @@ _NUMPY_DTYPES = {
     "string": object,
     "date": np.int64,
 }
+
+
+def _typed_array(values: list, type_name: str) -> np.ndarray:
+    """Pack converted values into the declared dtype; integers beyond int64
+    stay exact in an object buffer rather than wrapping or crashing."""
+    try:
+        return np.asarray(values, dtype=_NUMPY_DTYPES[type_name])
+    except OverflowError:
+        array = np.empty(len(values), dtype=object)
+        array[:] = values
+        return array
 
 
 class CsvPlugin(InputPlugin):
@@ -163,44 +184,72 @@ class CsvPlugin(InputPlugin):
 
     def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
         state = self._state(dataset)
-        data = state.data
-        index = state.index
-        num_rows = index.num_rows
+        num_rows = state.index.num_rows
         buffers = ScanBuffers(count=num_rows, oids=np.arange(num_rows, dtype=np.int64))
         for path in paths:
-            name = require_flat_path(path)
-            column = self._column_index(state, name)
-            type_name = self._field_type_name(dataset, name)
-            if type_name in ("int", "float"):
-                # Bulk conversion of the sliced field values (the Python
-                # analogue of the generated per-field conversion code).
-                slices = [
-                    data[span[0]:span[1]]
-                    for span in (
-                        index.field_span(data, row, column) for row in range(num_rows)
-                    )
-                ]
-                try:
-                    floats = (
-                        np.asarray(slices).astype(np.float64)
-                        if slices else np.zeros(0, dtype=np.float64)
-                    )
-                except ValueError:
-                    floats = None
-                if floats is not None:
-                    if type_name == "int" and len(floats) and \
-                            np.all(floats == np.floor(floats)):
-                        buffers.columns[path] = floats.astype(np.int64)
-                    else:
-                        buffers.columns[path] = floats
-                    continue
-            converter = _CONVERTERS[type_name]
-            values = [
-                converter(data[span[0]:span[1]].decode("utf-8"))
-                for span in (index.field_span(data, row, column) for row in range(num_rows))
-            ]
-            buffers.columns[path] = np.asarray(values, dtype=_NUMPY_DTYPES[type_name])
+            buffers.columns[path] = self._convert_rows(dataset, state, path, range(num_rows))
         return buffers
+
+    def scan_batches(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        batch_size: int = 4096,
+    ):
+        """Native batched scan: slice and convert one row range at a time using
+        the positional structural index (no per-tuple dict assembly)."""
+        state = self._state(dataset)
+        num_rows = state.index.num_rows
+        paths = [tuple(path) for path in paths]
+        for start in range(0, num_rows, batch_size):
+            stop = min(start + batch_size, num_rows)
+            buffers = ScanBuffers(
+                count=stop - start, oids=np.arange(start, stop, dtype=np.int64)
+            )
+            for path in paths:
+                buffers.columns[path] = self._convert_rows(
+                    dataset, state, path, range(start, stop)
+                )
+            yield buffers
+
+    def _convert_rows(
+        self, dataset: Dataset, state: _CsvState, path: FieldPath, rows: range
+    ) -> np.ndarray:
+        """Slice and convert one field for the given row range."""
+        data = state.data
+        index = state.index
+        name = require_flat_path(path)
+        column = self._column_index(state, name)
+        type_name = self._field_type_name(dataset, name)
+        if type_name in ("int", "float"):
+            # Bulk conversion of the sliced field values (the Python
+            # analogue of the generated per-field conversion code).
+            slices = [
+                data[span[0]:span[1]]
+                for span in (index.field_span(data, row, column) for row in rows)
+            ]
+            try:
+                floats = (
+                    np.asarray(slices).astype(np.float64)
+                    if slices else np.zeros(0, dtype=np.float64)
+                )
+            except ValueError:
+                floats = None
+            if floats is not None:
+                if type_name == "int" and len(floats) and \
+                        np.all(floats == np.floor(floats)):
+                    if not np.any(np.abs(floats) >= 2.0**53):
+                        return floats.astype(np.int64)
+                    # Integers beyond 2**53 are not exactly representable in
+                    # float64; fall through to the exact per-value converter.
+                else:
+                    return floats
+        converter = _CONVERTERS[type_name]
+        values = [
+            converter(data[span[0]:span[1]].decode("utf-8"))
+            for span in (index.field_span(data, row, column) for row in rows)
+        ]
+        return _typed_array(values, type_name)
 
     def scan_columns_at(
         self, dataset: Dataset, paths: Sequence[FieldPath], oids: np.ndarray
@@ -220,7 +269,7 @@ class CsvPlugin(InputPlugin):
                 converter(data[span[0]:span[1]].decode("utf-8"))
                 for span in (index.field_span(data, int(row), column) for row in rows)
             ]
-            buffers.columns[path] = np.asarray(values, dtype=_NUMPY_DTYPES[type_name])
+            buffers.columns[path] = _typed_array(values, type_name)
         return buffers
 
     # -- tuple-at-a-time access --------------------------------------------------

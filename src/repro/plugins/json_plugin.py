@@ -25,7 +25,13 @@ import numpy as np
 
 from repro.core import types as t
 from repro.errors import PluginError
-from repro.plugins.base import FieldPath, InputPlugin, ScanBuffers, UnnestBuffers
+from repro.plugins.base import (
+    FieldPath,
+    InputPlugin,
+    ScanBuffers,
+    UnnestBuffers,
+    dig_path as _dig,
+)
 from repro.storage.catalog import Dataset, DatasetStatistics
 from repro.storage.structural_index import (
     JsonStructuralIndex,
@@ -129,6 +135,27 @@ class JsonPlugin(InputPlugin):
             buffers.columns[path] = self._extract_column(dataset, state, path)
         return buffers
 
+    def scan_batches(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        batch_size: int = 4096,
+    ):
+        """Native batched scan: extract each column for one object range at a
+        time through the structural index (missing numeric fields surface as
+        NaN, exactly as in :meth:`scan_columns`)."""
+        state = self._state(dataset)
+        count = state.index.num_objects
+        for start in range(0, count, batch_size):
+            stop = min(start + batch_size, count)
+            positions = np.arange(start, stop, dtype=np.int64)
+            buffers = ScanBuffers(count=stop - start, oids=positions)
+            for path in paths:
+                buffers.columns[tuple(path)] = self._extract_column(
+                    dataset, state, tuple(path), positions=positions
+                )
+            yield buffers
+
     def scan_columns_at(
         self, dataset: Dataset, paths: Sequence[FieldPath], oids: np.ndarray
     ) -> ScanBuffers:
@@ -218,9 +245,15 @@ class JsonPlugin(InputPlugin):
             floats = np.asarray(slices).astype(np.float64)
         except ValueError:
             return None
-        if dtype_name in ("int", "date") and not missing and \
-                np.all(floats == np.floor(floats)):
-            return floats.astype(np.int64)
+        if dtype_name in ("int", "date"):
+            finite = floats[np.isfinite(floats)]
+            if len(finite) and np.any(np.abs(finite) >= 2.0**53):
+                # Integers beyond 2**53 are not exactly representable in
+                # float64; fall back to the exact per-span conversion path
+                # (whether or not some values are missing).
+                return None
+            if not missing and np.all(floats == np.floor(floats)):
+                return floats.astype(np.int64)
         return floats
 
     def scan_unnest(
@@ -376,17 +409,6 @@ def _convert_span(data: bytes, start: int, end: int, type_code: int) -> Any:
     return json.loads(text)
 
 
-def _dig(value: Any, path: FieldPath) -> Any:
-    for step in path:
-        if value is None:
-            return None
-        if isinstance(value, dict):
-            value = value.get(step)
-        else:
-            return None
-    return value
-
-
 def _assign(record: dict, path: FieldPath, value: Any) -> None:
     current = record
     for step in path[:-1]:
@@ -402,6 +424,14 @@ def _to_array(values: list, dtype_name: str) -> np.ndarray:
     try:
         if dtype_name in ("int", "date"):
             if any(v is None for v in values):
+                if any(
+                    v is not None and abs(int(v)) >= 2**53 for v in values
+                ):
+                    # NaN-encoding would round these; keep exact ints (and
+                    # None) in an object buffer.
+                    array = np.empty(len(values), dtype=object)
+                    array[:] = values
+                    return array
                 return np.asarray(
                     [np.nan if v is None else float(v) for v in values], dtype=np.float64
                 )
@@ -412,6 +442,8 @@ def _to_array(values: list, dtype_name: str) -> np.ndarray:
             )
         if dtype_name == "bool":
             return np.asarray([bool(v) for v in values], dtype=np.bool_)
-    except (TypeError, ValueError):
+    except (TypeError, ValueError, OverflowError):
         pass
-    return np.asarray(values, dtype=object)
+    array = np.empty(len(values), dtype=object)
+    array[:] = values
+    return array

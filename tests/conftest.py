@@ -128,4 +128,6 @@ def engine(paths) -> ProteusEngine:
 
 @pytest.fixture
 def volcano_engine(paths) -> ProteusEngine:
-    return make_engine(paths, enable_codegen=False, enable_caching=False)
+    return make_engine(
+        paths, enable_codegen=False, enable_vectorized=False, enable_caching=False
+    )

@@ -71,21 +71,40 @@ BUFFERS = {("l", ("a",)): "col_a", ("l", ("b",)): "col_b"}
 
 
 def test_generate_expression_arithmetic_and_comparison():
+    from types import SimpleNamespace
+
+    from repro.core.executor import radix
+
     expr = BinaryOp("<", BinaryOp("+", FieldRef("l", ("a",)), Literal(1)),
                     FieldRef("l", ("b",)))
     text = generate_expression(expr, BUFFERS)
-    assert text == "(((col_a + 1)) < (col_b))" or "col_a" in text
-    namespace = {"col_a": np.asarray([1, 5]), "col_b": np.asarray([3, 3]), "np": np}
+    assert "col_a" in text and "col_b" in text
+    runtime_stub = SimpleNamespace(
+        mask=radix.bool_mask, cmp=radix.null_safe_compare,
+        arith=radix.null_safe_arith, neg=radix.null_safe_neg,
+    )
+    namespace = {"col_a": np.asarray([1, 5]), "col_b": np.asarray([3, 3]),
+                 "np": np, "rt": runtime_stub}
     result = eval(text, namespace)  # noqa: S307 - controlled test input
     assert list(result) == [True, False]
 
 
 def test_generate_expression_logic_and_where():
+    from types import SimpleNamespace
+
+    from repro.core.executor import radix
+
     expr = BinaryOp("and",
                     BinaryOp(">", FieldRef("l", ("a",)), Literal(0)),
                     UnaryOp("not", BinaryOp("=", FieldRef("l", ("b",)), Literal(3))))
     text = generate_expression(expr, BUFFERS)
-    namespace = {"col_a": np.asarray([1, 2]), "col_b": np.asarray([3, 4]), "np": np}
+    # Generated fragments reference the runtime's missing-aware helpers.
+    runtime_stub = SimpleNamespace(
+        mask=radix.bool_mask, cmp=radix.null_safe_compare,
+        arith=radix.null_safe_arith, neg=radix.null_safe_neg,
+    )
+    namespace = {"col_a": np.asarray([1, 2]), "col_b": np.asarray([3, 4]),
+                 "np": np, "rt": runtime_stub}
     assert list(eval(text, namespace)) == [False, True]  # noqa: S307
     conditional = IfThenElse(BinaryOp(">", FieldRef("l", ("a",)), Literal(1)),
                              Literal(10), Literal(20))
