@@ -54,6 +54,34 @@ class AggregateAccumulators:
         self.bools_or: dict[tuple, bool] = defaultdict(lambda: False)
         self.counts: dict[tuple, int] = defaultdict(int)
 
+    def merge(self, other: "AggregateAccumulators") -> None:
+        """Fold another accumulator's partial state into this one.
+
+        This is the combine step of the morsel-driven parallel tier: each
+        morsel accumulates independently and the partials are merged in
+        morsel order afterwards.  Merging is defined on the shared state, so
+        partials from any ``update`` granularity combine correctly.
+        """
+        self.count += other.count
+        for fingerprint, count in other.counts.items():
+            self.counts[fingerprint] += count
+        for fingerprint, total in other.sums.items():
+            self.sums[fingerprint] += total
+        for fingerprint, value in other.maxs.items():
+            current = self.maxs.get(fingerprint)
+            self.maxs[fingerprint] = (
+                value if current is None else max(current, value)
+            )
+        for fingerprint, value in other.mins.items():
+            current = self.mins.get(fingerprint)
+            self.mins[fingerprint] = (
+                value if current is None else min(current, value)
+            )
+        for fingerprint, value in other.bools_and.items():
+            self.bools_and[fingerprint] = self.bools_and[fingerprint] and value
+        for fingerprint, value in other.bools_or.items():
+            self.bools_or[fingerprint] = self.bools_or[fingerprint] or value
+
     def finalize(self) -> dict[tuple, Any]:
         results: dict[tuple, Any] = {}
         for aggregate in self.aggregates:

@@ -43,9 +43,15 @@ class ExecutionProfile:
     batches_processed: int = 0
     used_generated_code: bool = True
     #: Which execution tier served the query: "codegen" (the specialized
-    #: per-query program), "vectorized" (the batch interpreter) or "volcano"
-    #: (the tuple-at-a-time interpreter).
+    #: per-query program), "vectorized-parallel" (the morsel-driven parallel
+    #: batch interpreter), "vectorized" (the serial batch interpreter) or
+    #: "volcano" (the tuple-at-a-time interpreter).
     execution_tier: str = "codegen"
+    #: Worker count of the parallel tier (0 on the serial tiers).
+    parallel_workers: int = 0
+    #: Morsels executed / obtained by stealing on the parallel tier.
+    morsels_dispatched: int = 0
+    morsels_stolen: int = 0
 
     def merge(self, other: "ExecutionProfile") -> None:
         self.rows_scanned += other.rows_scanned
@@ -56,6 +62,9 @@ class ExecutionProfile:
         self.groups_built += other.groups_built
         self.output_rows += other.output_rows
         self.batches_processed += other.batches_processed
+        self.parallel_workers = max(self.parallel_workers, other.parallel_workers)
+        self.morsels_dispatched += other.morsels_dispatched
+        self.morsels_stolen += other.morsels_stolen
 
 
 class QueryRuntime:

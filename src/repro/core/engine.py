@@ -11,23 +11,42 @@ the paper describes:
    algebra, which the optimizer lowers to a physical plan (selection/
    projection pushdown, join ordering, access-path selection against the
    caches),
-3. the plan executes through a three-tier cascade:
+3. the plan executes through a four-tier cascade:
 
    * **codegen** — the code generator collapses the plan into one specialized
      program executed against the query runtime (§5.1, the engine-per-query),
-   * **vectorized** — shapes the generator does not cover (and every query
-     when code generation is disabled for ablation) run through the
-     vectorized batch interpreter, which evaluates the same plan over NumPy
-     columnar batches instead of per-tuple environments,
-   * **volcano** — shapes the batch interpreter cannot serve either (record
+   * **vectorized-parallel** — when ``parallel_workers > 1``, shapes the
+     generator does not cover run through the morsel-driven parallel batch
+     interpreter: the driving scan splits into batch-aligned morsels that a
+     work-stealing worker pool executes concurrently, with partial per-morsel
+     aggregation and a deterministic morsel-ordered merge,
+   * **vectorized** — the serial batch interpreter serves the same shapes on
+     one core (and is the fallback when a scan cannot be split into morsels,
+     e.g. the binary row format's per-tuple shim, or when the input fits a
+     single morsel),
+   * **volcano** — shapes the batch interpreters cannot serve (record
      construction in output columns, outer joins/unnests, null group keys)
      fall back to the tuple-at-a-time Volcano interpreter, the paper's
      "static general-purpose engine" baseline.
 
-   The ablation flags ``enable_codegen`` and ``enable_vectorized`` disable the
-   first and second tier respectively; ``ExecutionProfile.execution_tier``
-   records which tier actually served each query.
-4. caches are populated as a side effect and reused by later queries.
+   The ablation flags ``enable_codegen``, ``enable_parallel`` and
+   ``enable_vectorized`` disable tiers individually (``enable_vectorized``
+   disables both batch tiers); ``ExecutionProfile.execution_tier`` records
+   which tier actually served each query.
+4. caches are populated as a side effect and reused by later queries — by
+   the generated tier *and*, since the parallel subsystem landed, by both
+   batch interpreters.
+
+Parallelism tuning: ``parallel_workers`` defaults to 1 (serial).  Set it to
+the number of physical cores for scan-heavy workloads; morsels are 64Ki rows
+by default, so inputs of ~128Ki rows or more actually fan out, and smaller
+inputs transparently stay on the serial tier where they are faster anyway.
+Hardware parallelism is strongest where the per-morsel work runs in
+GIL-releasing NumPy kernels — binary-column and cache-served scans, the
+predicate/join/grouping kernels — while CSV/JSON value conversion is
+Python-bound and gains mainly from the partial per-morsel aggregation (which
+also helps on a single core by replacing one monolithic grouping sort with
+cheaper per-morsel ones).
 """
 
 from __future__ import annotations
@@ -49,6 +68,7 @@ from repro.core.codegen.runtime import ExecutionProfile, QueryRuntime
 from repro.core.comprehension_parser import parse_comprehension
 from repro.core.executor.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
 from repro.core.executor.volcano import VolcanoExecutor
+from repro.core.parallel import ParallelVectorizedExecutor
 from repro.core.normalizer import normalize
 from repro.core.optimizer.planner import Planner
 from repro.core.optimizer.statistics import StatisticsManager
@@ -80,8 +100,8 @@ class QueryResult:
     rows: list[tuple]
     execution_seconds: float = 0.0
     used_codegen: bool = True
-    #: Which execution tier served the query: "codegen", "vectorized" or
-    #: "volcano".
+    #: Which execution tier served the query: "codegen",
+    #: "vectorized-parallel", "vectorized" or "volcano".
     tier: str = "codegen"
     profile: ExecutionProfile | None = None
 
@@ -124,6 +144,8 @@ class ProteusEngine:
         enable_caching: bool = True,
         enable_codegen: bool = True,
         enable_vectorized: bool = True,
+        enable_parallel: bool = True,
+        parallel_workers: int | None = None,
         enable_join_reordering: bool = True,
         vectorized_batch_size: int = DEFAULT_BATCH_SIZE,
         caching_policy: CachingPolicy | None = None,
@@ -132,6 +154,11 @@ class ProteusEngine:
         self.catalog = Catalog()
         self.enable_codegen = enable_codegen
         self.enable_vectorized = enable_vectorized
+        #: ``parallel_workers`` is the degree of the morsel-driven parallel
+        #: tier; 1 (the default) keeps execution serial.  ``enable_parallel``
+        #: is the ablation switch for the tier as a whole.
+        self.enable_parallel = enable_parallel
+        self.parallel_workers = 1 if parallel_workers is None else max(int(parallel_workers), 1)
         self.vectorized_batch_size = vectorized_batch_size
         self.enable_caching = enable_caching
         policy = caching_policy
@@ -338,6 +365,19 @@ class ProteusEngine:
                 # the generated code feeds to the kernels raw (e.g. NaN probe
                 # keys against an integer build side).
                 executed = None
+        if (
+            executed is None
+            and self.enable_vectorized
+            and self.enable_parallel
+            and self.parallel_workers > 1
+        ):
+            try:
+                executed = self._execute_parallel(physical)
+            except VectorizationError:
+                # The plan or plugin cannot be split into morsels (or the
+                # input fits a single morsel); the serial vectorized tier
+                # gets its attempt next.
+                executed = None
         if executed is None and self.enable_vectorized:
             try:
                 executed = self._execute_vectorized(physical)
@@ -375,22 +415,41 @@ class ProteusEngine:
         runtime.profile.execution_tier = "codegen"
         return names, output, runtime.profile
 
+    def _execute_parallel(
+        self, physical: PhysicalPlan
+    ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
+        executor = ParallelVectorizedExecutor(
+            self.catalog,
+            self.plugins,
+            batch_size=self.vectorized_batch_size,
+            num_workers=self.parallel_workers,
+            cache_manager=self.cache_manager,
+        )
+        names, columns = executor.execute(physical)
+        profile = ExecutionProfile(
+            used_generated_code=False, execution_tier="vectorized-parallel"
+        )
+        _copy_pipeline_counters(profile, executor.counters)
+        profile.parallel_workers = executor.num_workers
+        profile.morsels_dispatched = executor.morsels_dispatched
+        profile.morsels_stolen = executor.morsels_stolen
+        self.last_generated_source = None
+        return names, columns, profile
+
     def _execute_vectorized(
         self, physical: PhysicalPlan
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VectorizedExecutor(
-            self.catalog, self.plugins, batch_size=self.vectorized_batch_size
+            self.catalog,
+            self.plugins,
+            batch_size=self.vectorized_batch_size,
+            cache_manager=self.cache_manager,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
             used_generated_code=False, execution_tier="vectorized"
         )
-        profile.rows_scanned = executor.rows_scanned
-        profile.batches_processed = executor.batches_processed
-        profile.join_build_rows = executor.join_build_rows
-        profile.join_output_rows = executor.join_output_rows
-        profile.groups_built = executor.groups_built
-        profile.output_rows = executor.output_rows
+        _copy_pipeline_counters(profile, executor.counters)
         self.last_generated_source = None
         return names, columns, profile
 
@@ -431,6 +490,18 @@ class ProteusEngine:
 # ---------------------------------------------------------------------------
 # Result assembly helpers
 # ---------------------------------------------------------------------------
+
+
+def _copy_pipeline_counters(profile: ExecutionProfile, counters) -> None:
+    """Mirror a batch executor's pipeline counters into a profile."""
+    profile.rows_scanned = counters.rows_scanned
+    profile.batches_processed = counters.batches_processed
+    profile.values_extracted = counters.values_extracted
+    profile.values_from_cache = counters.values_from_cache
+    profile.join_build_rows = counters.join_build_rows
+    profile.join_output_rows = counters.join_output_rows
+    profile.groups_built = counters.groups_built
+    profile.output_rows = counters.output_rows
 
 
 def _output_names(physical: PhysicalPlan) -> list[str]:

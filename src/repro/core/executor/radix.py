@@ -40,7 +40,7 @@ DEFAULT_RADIX_BITS = 4
 # ---------------------------------------------------------------------------
 
 
-def _reject_missing_keys(keys: np.ndarray, operation: str) -> None:
+def reject_missing_keys(keys: np.ndarray, operation: str) -> None:
     """The columnar kernels cannot key on missing values: np.unique/argsort
     cannot sort ``None`` and a NaN key would surface as ``nan`` where the
     tuple-at-a-time interpreter produces ``None``.  Raising here makes every
@@ -101,29 +101,33 @@ class RadixTable:
         return total
 
 
+def cluster_partition(keys: np.ndarray, positions: np.ndarray) -> RadixPartition:
+    """Sort-cluster one build partition (the per-partition unit of work that
+    the parallel tier fans out across workers)."""
+    partition_keys = keys[positions]
+    try:
+        order = np.argsort(partition_keys, kind="stable")
+    except TypeError as exc:
+        raise VectorizationError(
+            f"joining on mixed-type keys is served by the Volcano "
+            f"interpreter ({exc})"
+        ) from exc
+    return RadixPartition(
+        sorted_keys=partition_keys[order],
+        original_positions=positions[order],
+    )
+
+
 def build_radix_table(keys: np.ndarray, bits: int = DEFAULT_RADIX_BITS) -> RadixTable:
     """Materialize the build side of a radix hash join."""
     keys = np.asarray(keys)
-    _reject_missing_keys(keys, "join")
+    reject_missing_keys(keys, "join")
     num_partitions = 1 << bits
     assignment = partition_assignment(keys, num_partitions)
-    partitions: list[RadixPartition] = []
-    for partition_id in range(num_partitions):
-        positions = np.nonzero(assignment == partition_id)[0]
-        partition_keys = keys[positions]
-        try:
-            order = np.argsort(partition_keys, kind="stable")
-        except TypeError as exc:
-            raise VectorizationError(
-                f"joining on mixed-type keys is served by the Volcano "
-                f"interpreter ({exc})"
-            ) from exc
-        partitions.append(
-            RadixPartition(
-                sorted_keys=partition_keys[order],
-                original_positions=positions[order],
-            )
-        )
+    partitions = [
+        cluster_partition(keys, np.nonzero(assignment == partition_id)[0])
+        for partition_id in range(num_partitions)
+    ]
     return RadixTable(partitions=partitions, num_partitions=num_partitions,
                       build_size=len(keys))
 
@@ -133,7 +137,7 @@ def probe_radix_table(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Probe a radix table; returns aligned (build_positions, probe_positions)."""
     probe_keys = np.asarray(probe_keys)
-    _reject_missing_keys(probe_keys, "join")
+    reject_missing_keys(probe_keys, "join")
     assignment = partition_assignment(probe_keys, table.num_partitions)
     build_chunks: list[np.ndarray] = []
     probe_chunks: list[np.ndarray] = []
@@ -205,7 +209,7 @@ def radix_group(key_arrays: list[np.ndarray]) -> GroupingResult:
     for keys in key_arrays:
         if len(keys) != length:
             raise ExecutionError("group key arrays must have equal length")
-        _reject_missing_keys(np.asarray(keys), "grouping")
+        reject_missing_keys(np.asarray(keys), "grouping")
     combined = np.zeros(length, dtype=np.int64)
     factorized: list[tuple[np.ndarray, np.ndarray]] = []
     capacity = 1  # exact Python int: the mixed-radix code space

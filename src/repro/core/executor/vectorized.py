@@ -9,15 +9,30 @@ exact overhead the paper measures.
 
 This executor closes that gap without generating code: it interprets the same
 physical plans, but over NumPy columnar *batches* (default 4096 rows) instead
-of per-tuple dict environments.  Each operator consumes and produces
-:class:`Batch` objects:
+of per-tuple dict environments.  The plan is first lowered by
+:class:`PipelineCompiler` into a :class:`CompiledPipeline` — one
+:class:`ScanOperator` batch source plus a list of per-batch stages:
 
-* scans pull :meth:`InputPlugin.scan_batches` buffers,
-* selections evaluate the predicate once per batch into a boolean mask,
-* hash joins materialize the build side, build one radix table and probe it
-  batch-at-a-time,
+* :class:`SelectStage` evaluates the predicate once per batch into a boolean
+  mask,
+* :class:`HashJoinStage` holds the materialized build side and one radix
+  table and probes it batch-at-a-time,
+* :class:`UnnestStage` flattens nested collections through the plug-in's
+  ``scan_unnest``,
 * grouping concatenates key/argument columns and reduces them with the radix
   grouping kernel (``np.unique`` + segmented reductions).
+
+The stages are deliberately *stateless per batch* (all mutable state lives in
+the per-call :class:`PipelineCounters`), so the same pipeline object can be
+executed over any batch range by any worker — this is what the morsel-driven
+parallel tier (:mod:`repro.core.parallel`) builds on: it compiles one
+pipeline, splits the driving scan into morsels and runs the pipeline
+concurrently over them.
+
+The scan operator also consults the adaptive :class:`CacheManager` the way
+the generated tier does: cached field columns are served (and counted as
+cache hits) instead of re-converting raw bytes, and fully-scanned columns are
+admitted to the cache as a side effect of execution (§6).
 
 Interpretation decisions still happen at run time (unlike the generated
 tier), but once per *batch* rather than once per tuple — the classic
@@ -37,11 +52,13 @@ the engine falls back to the Volcano interpreter.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 import numpy as np
 
+from repro.caching.matching import field_cache_key
 from repro.core.aggregate_utils import (
     AggregateAccumulators,
     literal_results,
@@ -72,7 +89,7 @@ from repro.core.physical import (
 )
 from repro.core.types import python_value as _python_value
 from repro.errors import ExecutionError, PluginError, VectorizationError
-from repro.plugins.base import InputPlugin
+from repro.plugins.base import FieldPath, InputPlugin
 from repro.storage.catalog import Catalog, Dataset
 
 DEFAULT_BATCH_SIZE = 4096
@@ -221,185 +238,498 @@ def _gather_joined(
     return joined
 
 
+def concat_batches(batches: list[Batch]) -> Batch:
+    """Concatenate a list of batches into one (join build sides)."""
+    if not batches:
+        return Batch(count=0)
+    if len(batches) == 1:
+        return batches[0]
+    merged = Batch(count=sum(batch.count for batch in batches))
+    for key in batches[0].columns:
+        merged.columns[key] = np.concatenate(
+            [batch.columns[key] for batch in batches]
+        )
+    for binding in batches[0].oids:
+        merged.oids[binding] = np.concatenate(
+            [batch.oids[binding] for batch in batches]
+        )
+    return merged
 
 
 # ---------------------------------------------------------------------------
-# The executor
+# Pipeline counters
 # ---------------------------------------------------------------------------
 
 
-class VectorizedExecutor:
-    """Batch-vectorized interpreter over physical plans."""
+@dataclass
+class PipelineCounters:
+    """Execution counters produced while running a pipeline.
+
+    Every stage writes into the counters object it is *passed* rather than
+    into shared executor state, so concurrent workers can run the same
+    pipeline with independent counters and merge them afterwards.
+    """
+
+    rows_scanned: int = 0
+    batches_processed: int = 0
+    values_extracted: int = 0
+    values_from_cache: int = 0
+    join_build_rows: int = 0
+    join_output_rows: int = 0
+    groups_built: int = 0
+    output_rows: int = 0
+
+    def merge(self, other: "PipelineCounters") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.batches_processed += other.batches_processed
+        self.values_extracted += other.values_extracted
+        self.values_from_cache += other.values_from_cache
+        self.join_build_rows += other.join_build_rows
+        self.join_output_rows += other.join_output_rows
+        self.groups_built += other.groups_built
+        self.output_rows += other.output_rows
+
+
+# ---------------------------------------------------------------------------
+# Scan operator (the batch source of every pipeline)
+# ---------------------------------------------------------------------------
+
+
+class ScanOperator:
+    """Produces the batch stream of one :class:`PhysScan`.
+
+    The operator consults the adaptive cache the way the generated tier's
+    ``rt.scan`` does: field columns held by the caching manager are served
+    (and counted as hits) instead of re-extracted, remaining fields are
+    scanned through the plug-in, and columns extracted by a *complete* scan
+    are admitted to the cache afterwards (:meth:`store_materialized`).
+
+    Batch production is side-effect-free apart from the counters argument and
+    the (lock-guarded) materialization recorder, so multiple workers may pull
+    disjoint row ranges concurrently via :meth:`iter_range`.
+    """
+
+    def __init__(
+        self,
+        plan: PhysScan,
+        dataset: Dataset,
+        plugin: InputPlugin,
+        cache_manager=None,
+    ):
+        self.plan = plan
+        self.binding = plan.binding
+        self.dataset = dataset
+        self.plugin = plugin
+        self.cache_manager = cache_manager
+        self.paths = [tuple(path) for path in plan.paths]
+        self._cached: dict[FieldPath, np.ndarray] = {}
+        if cache_manager is not None and plugin.format_name != "cache":
+            for path in self.paths:
+                entry = cache_manager.lookup(field_cache_key(dataset.name, path))
+                if entry is not None:
+                    self._cached[path] = entry.data
+        self._uncached = [path for path in self.paths if path not in self._cached]
+        if self._cached and not self._uncached:
+            self.total_rows: int | None = len(next(iter(self._cached.values())))
+        else:
+            self.total_rows = plugin.scan_row_count(dataset)
+        # Chunk recorder for cache materialization: worth the references only
+        # when the manager could admit at least one column of this format.
+        self._record: dict[FieldPath, dict[int, np.ndarray]] = {}
+        self._record_lock = threading.Lock()
+        if (
+            cache_manager is not None
+            and plugin.format_name != "cache"
+            and self._uncached
+            and self.total_rows is not None
+            and (
+                cache_manager.policy.should_cache_field(plugin.format_name, "float")
+                or cache_manager.policy.should_cache_field(plugin.format_name, "string")
+            )
+        ):
+            self._record = {path: {} for path in self._uncached}
+
+    @property
+    def fully_cached(self) -> bool:
+        return bool(self._cached) and not self._uncached
+
+    @property
+    def splittable(self) -> bool:
+        """Can this scan serve arbitrary row ranges (morsel-driven access)?"""
+        if self.fully_cached:
+            return True
+        return self.total_rows is not None and self.plugin.supports_scan_ranges
+
+    def iter_batches(
+        self, counters: PipelineCounters, batch_size: int
+    ) -> Iterator[Batch]:
+        """The full batch stream (serial execution)."""
+        if self.fully_cached:
+            yield from self._iter_cached(0, self.total_rows, counters, batch_size)
+            return
+        for buffers in self.plugin.scan_batches(
+            self.dataset, self._uncached, batch_size=batch_size
+        ):
+            batch = self._to_batch(buffers, counters)
+            if batch is not None:
+                yield batch
+
+    def iter_range(
+        self, start: int, stop: int, counters: PipelineCounters, batch_size: int
+    ) -> Iterator[Batch]:
+        """The batch stream of global rows ``[start, stop)`` (one morsel)."""
+        if self.fully_cached:
+            yield from self._iter_cached(start, stop, counters, batch_size)
+            return
+        for buffers in self.plugin.scan_batch_ranges(
+            self.dataset, self._uncached, start, stop, batch_size=batch_size
+        ):
+            batch = self._to_batch(buffers, counters)
+            if batch is not None:
+                yield batch
+
+    def _iter_cached(
+        self, start: int, stop: int, counters: PipelineCounters, batch_size: int
+    ) -> Iterator[Batch]:
+        for begin in range(start, stop, batch_size):
+            end = min(begin + batch_size, stop)
+            batch = Batch(count=end - begin)
+            batch.oids[self.binding] = np.arange(begin, end, dtype=np.int64)
+            for path, full in self._cached.items():
+                batch.columns[(self.binding, path)] = full[begin:end]
+            counters.values_from_cache += (end - begin) * len(self._cached)
+            counters.batches_processed += 1
+            yield batch
+
+    def _to_batch(self, buffers, counters: PipelineCounters) -> Batch | None:
+        if buffers.count == 0:
+            return None
+        batch = Batch(count=buffers.count)
+        oids = np.asarray(buffers.oids, dtype=np.int64)
+        batch.oids[self.binding] = oids
+        start = int(oids[0]) if len(oids) else 0
+        contiguous = len(oids) == 0 or int(oids[-1]) - start == buffers.count - 1
+        for path in self._uncached:
+            column = buffers.column(path)
+            batch.columns[(self.binding, path)] = column
+            if path in self._record and contiguous:
+                with self._record_lock:
+                    self._record[path][start] = column
+        if self._cached:
+            for path, full in self._cached.items():
+                batch.columns[(self.binding, path)] = full[oids]
+            counters.values_from_cache += buffers.count * len(self._cached)
+        counters.rows_scanned += buffers.count
+        counters.values_extracted += buffers.count * len(self._uncached)
+        counters.batches_processed += 1
+        return batch
+
+    def store_materialized(self) -> None:
+        """Admit columns covered by a complete scan to the adaptive cache.
+
+        Called on the main thread after execution finished; chunks that do not
+        cover the dataset contiguously (an abandoned stream, a failed morsel)
+        are silently dropped — caching is best-effort.
+        """
+        manager = self.cache_manager
+        if manager is None or not self._record:
+            return
+        for path, chunks in self._record.items():
+            if not chunks:
+                continue
+            starts = sorted(chunks)
+            covered = 0
+            for start in starts:
+                if start != covered:
+                    covered = -1
+                    break
+                covered += len(chunks[start])
+            if covered != self.total_rows:
+                continue
+            column = (
+                chunks[starts[0]]
+                if len(starts) == 1
+                else np.concatenate([chunks[start] for start in starts])
+            )
+            if not manager.policy.should_cache_field(
+                self.plugin.format_name, _cache_type_name(column)
+            ):
+                continue
+            manager.store(
+                field_cache_key(self.dataset.name, path),
+                column,
+                kind="field",
+                dataset=self.dataset.name,
+                source_format=self.plugin.format_name,
+                description=f"{self.dataset.name}.{'.'.join(path)}",
+            )
+        self._record = {}
+
+
+def _cache_type_name(column: np.ndarray) -> str:
+    """Type label a column gets for the cache-admission policy (mirrors the
+    generated tier's classification)."""
+    if column.dtype == object:
+        return "string"
+    if column.dtype.kind == "b":
+        return "bool"
+    if column.dtype.kind in "iu":
+        return "int"
+    return "float"
+
+
+# ---------------------------------------------------------------------------
+# Per-batch pipeline stages
+# ---------------------------------------------------------------------------
+
+
+class SelectStage:
+    """Filter each batch by a predicate."""
+
+    def __init__(self, predicate: Expression):
+        self.predicate = predicate
+
+    def apply(self, batch: Batch, counters: PipelineCounters) -> Batch | None:
+        return _apply_predicate(batch, self.predicate)
+
+
+class UnnestStage:
+    """Flatten a nested collection of the parent binding into each batch."""
+
+    def __init__(
+        self,
+        plan: PhysUnnest,
+        dataset: Dataset,
+        plugin: InputPlugin,
+    ):
+        self.binding = plan.binding
+        self.path = plan.path
+        self.var = plan.var
+        self.element_paths = [tuple(path) for path in plan.element_paths]
+        self.predicate = plan.predicate
+        self.dataset = dataset
+        self.plugin = plugin
+
+    def apply(self, batch: Batch, counters: PipelineCounters) -> Batch | None:
+        parent_oids = batch.oids.get(self.binding)
+        if parent_oids is None:
+            raise VectorizationError(
+                f"no OID column for unnest binding {self.binding!r}"
+            )
+        try:
+            buffers = self.plugin.scan_unnest(
+                self.dataset, self.path, self.element_paths, parent_oids
+            )
+        except PluginError as exc:
+            raise VectorizationError(str(exc)) from exc
+        if buffers.count == 0:
+            return None
+        flattened = batch.take(buffers.parent_positions)
+        for path in self.element_paths:
+            flattened.columns[(self.var, path)] = buffers.column(path)
+        counters.rows_scanned += buffers.count
+        if self.predicate is not None:
+            return _apply_predicate(flattened, self.predicate)
+        return flattened
+
+
+class HashJoinStage:
+    """Probe an already-built radix table with each batch.
+
+    The build side (a materialized :class:`Batch` plus its radix table) is
+    immutable once constructed, so any number of workers can probe it
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        build: Batch,
+        table: radix.RadixTable,
+        build_kind: str,
+        right_key: Expression,
+        residual: Expression | None,
+    ):
+        self.build = build
+        self.table = table
+        self.build_kind = build_kind
+        self.right_key = right_key
+        self.residual = residual
+
+    def apply(self, batch: Batch, counters: PipelineCounters) -> Batch | None:
+        right_keys = _join_keys(evaluate_batch(self.right_key, batch), batch.count)
+        probe_keys, kept = _align_probe_keys(self.build_kind, right_keys)
+        left_positions, right_positions = radix.probe_radix_table(
+            self.table, probe_keys
+        )
+        if len(left_positions) == 0:
+            return None
+        if kept is not None:
+            right_positions = kept[right_positions]
+        counters.join_output_rows += len(left_positions)
+        joined = _gather_joined(self.build, batch, left_positions, right_positions)
+        if self.residual is not None:
+            return _apply_predicate(joined, self.residual)
+        return joined
+
+
+class NestedLoopJoinStage:
+    """Cross-product each batch against a materialized build side."""
+
+    def __init__(self, build: Batch, predicate: Expression | None):
+        self.build = build
+        self.predicate = predicate
+
+    def apply(self, batch: Batch, counters: PipelineCounters) -> Batch | None:
+        left = self.build
+        left_positions = np.repeat(
+            np.arange(left.count, dtype=np.int64), batch.count
+        )
+        right_positions = np.tile(
+            np.arange(batch.count, dtype=np.int64), left.count
+        )
+        joined = _gather_joined(left, batch, left_positions, right_positions)
+        if self.predicate is not None:
+            return _apply_predicate(joined, self.predicate)
+        return joined
+
+
+@dataclass
+class CompiledPipeline:
+    """One scan source plus the per-batch stages applied to its stream.
+
+    ``always_empty`` marks pipelines that provably produce nothing (an inner
+    join whose build side materialized to zero rows); callers skip scanning
+    entirely, exactly as the pre-pipeline executor did.
+    """
+
+    source: ScanOperator
+    stages: list
+    always_empty: bool = False
+
+    def process(self, batch: Batch, counters: PipelineCounters) -> Batch | None:
+        for stage in self.stages:
+            batch = stage.apply(batch, counters)
+            if batch is None:
+                return None
+        return batch
+
+
+def serial_materialize(
+    pipeline: CompiledPipeline, compiler: "PipelineCompiler"
+) -> Batch:
+    """Run a pipeline to completion on the calling thread and concatenate."""
+    if pipeline.always_empty:
+        return Batch(count=0)
+    collected: list[Batch] = []
+    for batch in pipeline.source.iter_batches(compiler.counters, compiler.batch_size):
+        out = pipeline.process(batch, compiler.counters)
+        if out is not None:
+            collected.append(out)
+    return concat_batches(collected)
+
+
+class PipelineCompiler:
+    """Lower a physical plan subtree into a :class:`CompiledPipeline`.
+
+    Join build sides are materialized *during* compilation (they are blocking
+    operators), through the injected ``materializer`` — the serial executor
+    runs them inline, the parallel executor fans their scans across the
+    worker pool and builds the radix table partition-parallel via
+    ``table_builder``.
+    """
 
     def __init__(
         self,
         catalog: Catalog,
         plugins: Mapping[str, InputPlugin],
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: int,
+        cache_manager=None,
+        counters: PipelineCounters | None = None,
+        materializer: Callable[[CompiledPipeline, "PipelineCompiler"], Batch] | None = None,
+        table_builder: Callable[[np.ndarray], radix.RadixTable] | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
         self.batch_size = max(int(batch_size), 1)
-        #: Counters mirrored into the engine's :class:`ExecutionProfile`.
-        self.rows_scanned = 0
-        self.batches_processed = 0
-        self.join_build_rows = 0
-        self.join_output_rows = 0
-        self.groups_built = 0
-        self.output_rows = 0
+        self.cache_manager = cache_manager
+        self.counters = counters if counters is not None else PipelineCounters()
+        self.materializer = materializer or serial_materialize
+        self.table_builder = table_builder or radix.build_radix_table
+        #: Every scan operator created while compiling (driving scan and all
+        #: build-side scans) — the executor flushes their cache
+        #: materializations after a successful run.
+        self.scan_operators: list[ScanOperator] = []
 
-    # -- public API ----------------------------------------------------------
-
-    def execute(self, plan: PhysicalPlan) -> tuple[list[str], dict[str, Any]]:
-        """Execute a plan; returns (column names, column values)."""
-        if isinstance(plan, PhysReduce):
-            return self._execute_reduce(plan)
-        if isinstance(plan, PhysNest):
-            return self._execute_nest(plan)
-        raise ExecutionError(
-            f"the plan root must be Reduce or Nest, got {plan.describe()}"
+    def compile(self, plan: PhysicalPlan) -> CompiledPipeline:
+        if isinstance(plan, PhysScan):
+            return CompiledPipeline(self._scan_operator(plan), [])
+        if isinstance(plan, PhysSelect):
+            pipeline = self.compile(plan.child)
+            pipeline.stages.append(SelectStage(plan.predicate))
+            return pipeline
+        if isinstance(plan, PhysUnnest):
+            if plan.outer:
+                raise VectorizationError(
+                    "outer unnest is served by the Volcano interpreter"
+                )
+            dataset, plugin = self._scan_source(plan, plan.binding)
+            pipeline = self.compile(plan.child)
+            pipeline.stages.append(UnnestStage(plan, dataset, plugin))
+            return pipeline
+        if isinstance(plan, PhysHashJoin):
+            if plan.outer:
+                raise VectorizationError(
+                    "outer join is served by the Volcano interpreter"
+                )
+            left = self.materializer(self.compile(plan.left), self)
+            pipeline = self.compile(plan.right)
+            if left.count == 0 or pipeline.always_empty:
+                # An inner join with an empty build side produces nothing;
+                # bail out before key evaluation (an empty Batch has no
+                # columns, which would needlessly demote the query to the
+                # Volcano tier).
+                pipeline.always_empty = True
+                return pipeline
+            left_keys = _join_keys(evaluate_batch(plan.left_key, left), left.count)
+            table = self.table_builder(left_keys)
+            self.counters.join_build_rows += left.count
+            pipeline.stages.append(
+                HashJoinStage(
+                    left, table, left_keys.dtype.kind, plan.right_key, plan.residual
+                )
+            )
+            return pipeline
+        if isinstance(plan, PhysNestedLoopJoin):
+            if plan.outer:
+                raise VectorizationError(
+                    "outer join is served by the Volcano interpreter"
+                )
+            left = self.materializer(self.compile(plan.left), self)
+            pipeline = self.compile(plan.right)
+            if left.count == 0 or pipeline.always_empty:
+                pipeline.always_empty = True
+                return pipeline
+            pipeline.stages.append(NestedLoopJoinStage(left, plan.predicate))
+            return pipeline
+        raise VectorizationError(
+            f"cannot interpret operator {plan.describe()} over batches"
         )
 
-    # -- batch pipelines -------------------------------------------------------
+    def store_scan_caches(self) -> None:
+        """Flush the scan operators' cache materializations (main thread)."""
+        for operator in self.scan_operators:
+            operator.store_materialized()
 
-    def _batches(self, plan: PhysicalPlan) -> Iterator[Batch]:
-        if isinstance(plan, PhysScan):
-            yield from self._iterate_scan(plan)
-        elif isinstance(plan, PhysSelect):
-            yield from self._iterate_select(plan)
-        elif isinstance(plan, PhysUnnest):
-            yield from self._iterate_unnest(plan)
-        elif isinstance(plan, PhysHashJoin):
-            yield from self._iterate_hash_join(plan)
-        elif isinstance(plan, PhysNestedLoopJoin):
-            yield from self._iterate_nested_loop(plan)
-        else:
-            raise VectorizationError(
-                f"cannot interpret operator {plan.describe()} over batches"
-            )
+    # -- helpers -------------------------------------------------------------
 
-    def _iterate_scan(self, plan: PhysScan) -> Iterator[Batch]:
+    def _scan_operator(self, plan: PhysScan) -> ScanOperator:
         dataset = self.catalog.get(plan.dataset)
         plugin = self.plugins.get(dataset.format)
         if plugin is None:
             raise ExecutionError(f"no plug-in registered for format {dataset.format!r}")
-        paths = [tuple(path) for path in plan.paths]
-        for buffers in plugin.scan_batches(dataset, paths, batch_size=self.batch_size):
-            if buffers.count == 0:
-                continue
-            batch = Batch(count=buffers.count)
-            batch.oids[plan.binding] = np.asarray(buffers.oids, dtype=np.int64)
-            for path in paths:
-                batch.columns[(plan.binding, path)] = buffers.column(path)
-            self.rows_scanned += buffers.count
-            self.batches_processed += 1
-            yield batch
-
-    def _iterate_select(self, plan: PhysSelect) -> Iterator[Batch]:
-        for batch in self._batches(plan.child):
-            filtered = _apply_predicate(batch, plan.predicate)
-            if filtered is not None:
-                yield filtered
-
-    def _iterate_unnest(self, plan: PhysUnnest) -> Iterator[Batch]:
-        if plan.outer:
-            raise VectorizationError(
-                "outer unnest is served by the Volcano interpreter"
-            )
-        dataset, plugin = self._scan_source(plan, plan.binding)
-        element_paths = [tuple(path) for path in plan.element_paths]
-        for batch in self._batches(plan.child):
-            parent_oids = batch.oids.get(plan.binding)
-            if parent_oids is None:
-                raise VectorizationError(
-                    f"no OID column for unnest binding {plan.binding!r}"
-                )
-            try:
-                buffers = plugin.scan_unnest(
-                    dataset, plan.path, element_paths, parent_oids
-                )
-            except PluginError as exc:
-                raise VectorizationError(str(exc)) from exc
-            if buffers.count == 0:
-                continue
-            flattened = batch.take(buffers.parent_positions)
-            for path in element_paths:
-                flattened.columns[(plan.var, path)] = buffers.column(path)
-            self.rows_scanned += buffers.count
-            if plan.predicate is not None:
-                flattened = _apply_predicate(flattened, plan.predicate)
-                if flattened is None:
-                    continue
-            yield flattened
-
-    def _iterate_hash_join(self, plan: PhysHashJoin) -> Iterator[Batch]:
-        if plan.outer:
-            raise VectorizationError("outer join is served by the Volcano interpreter")
-        left = self._materialize(plan.left)
-        if left.count == 0:
-            # An inner join with an empty build side produces nothing; bail
-            # out before key evaluation (an empty Batch has no columns, which
-            # would needlessly demote the query to the Volcano tier).
-            return
-        left_keys = _join_keys(evaluate_batch(plan.left_key, left), left.count)
-        table = radix.build_radix_table(left_keys)
-        build_kind = left_keys.dtype.kind
-        self.join_build_rows += left.count
-        for right in self._batches(plan.right):
-            right_keys = _join_keys(evaluate_batch(plan.right_key, right), right.count)
-            probe_keys, kept = _align_probe_keys(build_kind, right_keys)
-            left_positions, right_positions = radix.probe_radix_table(table, probe_keys)
-            if len(left_positions) == 0:
-                continue
-            if kept is not None:
-                right_positions = kept[right_positions]
-            self.join_output_rows += len(left_positions)
-            joined = _gather_joined(left, right, left_positions, right_positions)
-            if plan.residual is not None:
-                joined = _apply_predicate(joined, plan.residual)
-                if joined is None:
-                    continue
-            yield joined
-
-    def _iterate_nested_loop(self, plan: PhysNestedLoopJoin) -> Iterator[Batch]:
-        if plan.outer:
-            raise VectorizationError(
-                "outer join is served by the Volcano interpreter"
-            )
-        left = self._materialize(plan.left)
-        if left.count == 0:
-            return
-        for right in self._batches(plan.right):
-            left_positions = np.repeat(
-                np.arange(left.count, dtype=np.int64), right.count
-            )
-            right_positions = np.tile(
-                np.arange(right.count, dtype=np.int64), left.count
-            )
-            joined = _gather_joined(left, right, left_positions, right_positions)
-            if plan.predicate is not None:
-                joined = _apply_predicate(joined, plan.predicate)
-                if joined is None:
-                    continue
-            yield joined
-
-    def _materialize(self, plan: PhysicalPlan) -> Batch:
-        """Concatenate a batch stream into one batch (join build sides)."""
-        batches = list(self._batches(plan))
-        if not batches:
-            return Batch(count=0)
-        if len(batches) == 1:
-            return batches[0]
-        merged = Batch(count=sum(batch.count for batch in batches))
-        for key in batches[0].columns:
-            merged.columns[key] = np.concatenate(
-                [batch.columns[key] for batch in batches]
-            )
-        for binding in batches[0].oids:
-            merged.oids[binding] = np.concatenate(
-                [batch.oids[binding] for batch in batches]
-            )
-        return merged
+        operator = ScanOperator(plan, dataset, plugin, self.cache_manager)
+        self.scan_operators.append(operator)
+        return operator
 
     def _scan_source(
         self, plan: PhysicalPlan, binding: str
@@ -417,16 +747,147 @@ class VectorizedExecutor:
             f"binding {binding!r} is not backed by a scan in this plan"
         )
 
+
+# ---------------------------------------------------------------------------
+# Shared group-by plumbing (used by the serial and the parallel tier)
+# ---------------------------------------------------------------------------
+
+
+def collect_nest_aggregates(
+    plan: PhysNest,
+) -> tuple[dict[tuple, int], list[AggregateCall]]:
+    """Classify a Nest's output columns into group keys and aggregates.
+
+    Returns (fingerprint → group-key index, unique aggregate calls).  Raises
+    :class:`VectorizationError` for output columns that are neither, which
+    only the Volcano interpreter serves.
+    """
+    group_key_fingerprints = {
+        expression.fingerprint(): index
+        for index, expression in enumerate(plan.group_by)
+    }
+    aggregates: list[AggregateCall] = []
+    seen: set[tuple] = set()
+    for column in plan.columns:
+        fingerprint = column.expression.fingerprint()
+        if fingerprint in group_key_fingerprints:
+            continue
+        if not contains_aggregate(column.expression):
+            raise VectorizationError(
+                f"group-by output column {column.name!r} is neither a group "
+                "key nor an aggregate; served by the Volcano interpreter"
+            )
+        for aggregate in iter_aggregates(column.expression):
+            if aggregate.fingerprint() not in seen:
+                seen.add(aggregate.fingerprint())
+                aggregates.append(aggregate)
+    return group_key_fingerprints, aggregates
+
+
+def finish_nest_columns(
+    plan: PhysNest,
+    group_key_fingerprints: dict[tuple, int],
+    grouping: radix.GroupingResult,
+    aggregate_results: dict[tuple, np.ndarray],
+) -> dict[str, Any]:
+    """Assemble a Nest's output columns from grouped keys and per-group
+    aggregate result columns.
+
+    Each aggregate's result column is exposed under a synthetic binding, then
+    the heads are finished with the vectorized evaluator — this keeps
+    arithmetic/logical combinations of aggregates (e.g. ``max(x) > 5 and
+    min(x) > 0``) on the batch path.
+    """
+    group_batch = Batch(count=grouping.num_groups)
+    results: dict[tuple, Expression] = {}
+    for index, (fingerprint, values) in enumerate(aggregate_results.items()):
+        reference = FieldRef(_AGG_BINDING, (f"agg_{index}",))
+        group_batch.columns[(_AGG_BINDING, reference.path)] = np.asarray(values)
+        results[fingerprint] = reference
+    columns: dict[str, Any] = {}
+    for column in plan.columns:
+        fingerprint = column.expression.fingerprint()
+        if fingerprint in group_key_fingerprints:
+            index = group_key_fingerprints[fingerprint]
+            columns[column.name] = grouping.key_arrays[index]
+            continue
+        final = replace_aggregates(column.expression, results)
+        columns[column.name] = materialize(
+            evaluate_batch(final, group_batch), grouping.num_groups
+        )
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class VectorizedExecutor:
+    """Batch-vectorized interpreter over physical plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        plugins: Mapping[str, InputPlugin],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache_manager=None,
+    ):
+        self.catalog = catalog
+        self.plugins = plugins
+        self.batch_size = max(int(batch_size), 1)
+        self.cache_manager = cache_manager
+        #: Counters mirrored into the engine's :class:`ExecutionProfile`.
+        self.counters = PipelineCounters()
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, plan: PhysicalPlan) -> tuple[list[str], dict[str, Any]]:
+        """Execute a plan; returns (column names, column values)."""
+        if isinstance(plan, PhysReduce):
+            names, columns, compiler = self._execute_reduce(plan)
+        elif isinstance(plan, PhysNest):
+            names, columns, compiler = self._execute_nest(plan)
+        else:
+            raise ExecutionError(
+                f"the plan root must be Reduce or Nest, got {plan.describe()}"
+            )
+        compiler.store_scan_caches()
+        return names, columns
+
+    # -- batch pipelines -------------------------------------------------------
+
+    def _compile(self, child: PhysicalPlan) -> tuple[PipelineCompiler, CompiledPipeline]:
+        compiler = PipelineCompiler(
+            self.catalog,
+            self.plugins,
+            self.batch_size,
+            cache_manager=self.cache_manager,
+            counters=self.counters,
+        )
+        return compiler, compiler.compile(child)
+
+    def _pipeline_batches(self, pipeline: CompiledPipeline) -> Iterator[Batch]:
+        if pipeline.always_empty:
+            return
+        for batch in pipeline.source.iter_batches(self.counters, self.batch_size):
+            out = pipeline.process(batch, self.counters)
+            if out is not None:
+                yield out
+
     # -- roots -----------------------------------------------------------------
 
-    def _execute_reduce(self, plan: PhysReduce) -> tuple[list[str], dict[str, Any]]:
+    def _execute_reduce(
+        self, plan: PhysReduce
+    ) -> tuple[list[str], dict[str, Any], PipelineCompiler]:
         names = [column.name for column in plan.columns]
+        compiler, pipeline = self._compile(plan.child)
         aggregated = any(contains_aggregate(column.expression) for column in plan.columns)
         if not aggregated:
             unique_columns = unique_output_columns(plan.columns)
             chunks: dict[str, list[np.ndarray]] = {name: [] for name in names}
             total = 0
-            for batch in self._batches(plan.child):
+            for batch in self._pipeline_batches(pipeline):
                 for column in unique_columns:
                     chunks[column.name].append(
                         materialize(
@@ -434,46 +895,31 @@ class VectorizedExecutor:
                         )
                     )
                 total += batch.count
-            self.output_rows += total
+            self.counters.output_rows += total
             columns = {
                 name: (
                     np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
                 )
                 for name, parts in chunks.items()
             }
-            return names, columns
+            return names, columns, compiler
         accumulators = _BatchAggregates(plan.columns)
-        for batch in self._batches(plan.child):
+        for batch in self._pipeline_batches(pipeline):
             accumulators.update(batch)
         values = accumulators.finalize()
-        self.output_rows += 1
+        self.counters.output_rows += 1
         columns = {}
         for column in plan.columns:
             final = replace_aggregates(column.expression, literal_results(values))
             columns[column.name] = [_python_value(final.evaluate({}))]
-        return names, columns
+        return names, columns, compiler
 
-    def _execute_nest(self, plan: PhysNest) -> tuple[list[str], dict[str, Any]]:
+    def _execute_nest(
+        self, plan: PhysNest
+    ) -> tuple[list[str], dict[str, Any], PipelineCompiler]:
         names = [column.name for column in plan.columns]
-        group_key_fingerprints = {
-            expression.fingerprint(): index
-            for index, expression in enumerate(plan.group_by)
-        }
-        aggregates: list[AggregateCall] = []
-        seen: set[tuple] = set()
-        for column in plan.columns:
-            fingerprint = column.expression.fingerprint()
-            if fingerprint in group_key_fingerprints:
-                continue
-            if not contains_aggregate(column.expression):
-                raise VectorizationError(
-                    f"group-by output column {column.name!r} is neither a group "
-                    "key nor an aggregate; served by the Volcano interpreter"
-                )
-            for aggregate in iter_aggregates(column.expression):
-                if aggregate.fingerprint() not in seen:
-                    seen.add(aggregate.fingerprint())
-                    aggregates.append(aggregate)
+        group_key_fingerprints, aggregates = collect_nest_aggregates(plan)
+        compiler, pipeline = self._compile(plan.child)
 
         key_chunks: list[list[np.ndarray]] = [[] for _ in plan.group_by]
         argument_chunks: dict[tuple, list[np.ndarray]] = {
@@ -482,7 +928,7 @@ class VectorizedExecutor:
             if aggregate.argument is not None
         }
         total = 0
-        for batch in self._batches(plan.child):
+        for batch in self._pipeline_batches(pipeline):
             for index, expression in enumerate(plan.group_by):
                 key_chunks[index].append(
                     materialize(evaluate_batch(expression, batch), batch.count)
@@ -497,47 +943,30 @@ class VectorizedExecutor:
                 )
             total += batch.count
         if total == 0:
-            return names, {name: [] for name in names}
+            return names, {name: [] for name in names}, compiler
 
         key_arrays = [np.concatenate(chunks) for chunks in key_chunks]
         # radix_group raises VectorizationError for keys containing missing
         # values, which the engine turns into a Volcano fallback.
         grouping = radix.radix_group(key_arrays)
-        self.groups_built += grouping.num_groups
-        self.output_rows += grouping.num_groups
+        self.counters.groups_built += grouping.num_groups
+        self.counters.output_rows += grouping.num_groups
 
-        # Expose each aggregate's per-group result column under a synthetic
-        # binding, then finish the heads with the vectorized evaluator — this
-        # keeps arithmetic/logical combinations of aggregates (e.g.
-        # ``max(x) > 5 and min(x) > 0``) on the batch path.
-        group_batch = Batch(count=grouping.num_groups)
-        results: dict[tuple, Expression] = {}
-        for index, aggregate in enumerate(aggregates):
+        aggregate_results: dict[tuple, np.ndarray] = {}
+        for aggregate in aggregates:
             fingerprint = aggregate.fingerprint()
             values = (
                 np.concatenate(argument_chunks[fingerprint])
                 if aggregate.argument is not None
                 else None
             )
-            result = radix.group_aggregate(
+            aggregate_results[fingerprint] = radix.group_aggregate(
                 aggregate.func, grouping.group_ids, grouping.num_groups, values
             )
-            reference = FieldRef(_AGG_BINDING, (f"agg_{index}",))
-            group_batch.columns[(_AGG_BINDING, reference.path)] = np.asarray(result)
-            results[fingerprint] = reference
-
-        columns: dict[str, Any] = {}
-        for column in plan.columns:
-            fingerprint = column.expression.fingerprint()
-            if fingerprint in group_key_fingerprints:
-                index = group_key_fingerprints[fingerprint]
-                columns[column.name] = grouping.key_arrays[index]
-                continue
-            final = replace_aggregates(column.expression, results)
-            columns[column.name] = materialize(
-                evaluate_batch(final, group_batch), grouping.num_groups
-            )
-        return names, columns
+        columns = finish_nest_columns(
+            plan, group_key_fingerprints, grouping, aggregate_results
+        )
+        return names, columns, compiler
 
 
 # ---------------------------------------------------------------------------

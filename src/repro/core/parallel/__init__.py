@@ -1,0 +1,22 @@
+"""Morsel-driven parallel execution subsystem (the ``vectorized-parallel``
+tier).
+
+Splits the driving scan of a compiled batch pipeline into batch-aligned
+morsels, dispatches them to a pool of worker threads through a work-stealing
+queue, and merges per-morsel partial results deterministically (in morsel
+order).  See :mod:`repro.core.parallel.executor` for the execution model and
+:mod:`repro.core.parallel.scheduler` for the scheduling model.
+"""
+
+from repro.core.parallel.executor import ParallelVectorizedExecutor
+from repro.core.parallel.morsels import DEFAULT_MORSEL_ROWS, Morsel, plan_morsels
+from repro.core.parallel.scheduler import WorkerPool, WorkStealingQueue
+
+__all__ = [
+    "DEFAULT_MORSEL_ROWS",
+    "Morsel",
+    "ParallelVectorizedExecutor",
+    "WorkStealingQueue",
+    "WorkerPool",
+    "plan_morsels",
+]

@@ -1,0 +1,553 @@
+"""Morsel-driven parallel executor — the parallel vectorized tier.
+
+Executes the same compiled batch pipelines as the serial vectorized executor
+(:mod:`repro.core.executor.vectorized`), but across a work-stealing worker
+pool:
+
+* the driving scan is split into batch-aligned :class:`Morsel` row ranges
+  through the splittable ``InputPlugin.scan_batch_ranges`` API,
+* every worker runs the **same** immutable pipeline object over whichever
+  morsels it obtains from the shared work-stealing queue,
+* join build sides are themselves materialized morsel-parallel, and their
+  radix tables are built partition-parallel (each of the ``2^bits``
+  partitions is sort-clustered by a worker),
+* the plan root merges *partial* per-morsel states: partial aggregation with
+  a final merge for Reduce, partial radix grouping with a second-level
+  grouped merge for Nest, and plain morsel-ordered concatenation for
+  projections.
+
+Determinism: every merge consumes partial results in **morsel index order**
+(the pool's order-preserving collector), never in completion or worker
+order — repeated runs return identical rows, and for integer data the rows
+are bit-identical to the serial tier's.  (Floating-point sums may differ from
+the serial tier in the last ulp because addition is reassociated across
+morsels; they remain deterministic run-to-run.)
+
+Whatever this tier cannot serve — an unsplittable driving scan (e.g. the
+binary row format's per-tuple shim), a single-morsel input, or any shape the
+vectorized model rejects — raises :class:`VectorizationError`, and the engine
+transparently falls back to the serial vectorized tier (and from there to
+Volcano).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.aggregate_utils import (
+    literal_results,
+    replace_aggregates,
+    unique_output_columns,
+)
+from repro.core.executor import radix
+from repro.core.executor.vectorized import (
+    Batch,
+    CompiledPipeline,
+    DEFAULT_BATCH_SIZE,
+    PipelineCompiler,
+    PipelineCounters,
+    _BatchAggregates,
+    collect_nest_aggregates,
+    concat_batches,
+    evaluate_batch,
+    finish_nest_columns,
+    materialize,
+    serial_materialize,
+)
+from repro.caching.matching import field_cache_key
+from repro.core.parallel.morsels import Morsel, plan_morsels
+from repro.core.parallel.scheduler import WorkerPool
+from repro.core.physical import (
+    PhysHashJoin,
+    PhysNest,
+    PhysNestedLoopJoin,
+    PhysReduce,
+    PhysScan,
+    PhysSelect,
+    PhysUnnest,
+    PhysicalPlan,
+)
+from repro.core.types import python_value as _python_value
+from repro.core.expressions import contains_aggregate
+from repro.errors import ExecutionError, VectorizationError
+from repro.plugins.base import InputPlugin
+from repro.storage.catalog import Catalog
+
+#: Below this many build-side keys a partition-parallel table build costs
+#: more in scheduling than it saves in sorting.
+MIN_PARALLEL_BUILD_KEYS = 8192
+
+
+class ParallelVectorizedExecutor:
+    """Morsel-driven parallel interpreter over physical plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        plugins: Mapping[str, InputPlugin],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        num_workers: int = 2,
+        cache_manager=None,
+        morsel_rows: int | None = None,
+    ):
+        self.catalog = catalog
+        self.plugins = plugins
+        self.batch_size = max(int(batch_size), 1)
+        self.num_workers = max(int(num_workers), 1)
+        self.cache_manager = cache_manager
+        self.morsel_rows = morsel_rows
+        #: Counters mirrored into the engine's :class:`ExecutionProfile`.
+        self.counters = PipelineCounters()
+        self.morsels_dispatched = 0
+        self.morsels_stolen = 0
+        self._pool = WorkerPool(self.num_workers)
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, plan: PhysicalPlan) -> tuple[list[str], dict[str, Any]]:
+        """Execute a plan; returns (column names, column values)."""
+        if isinstance(plan, PhysReduce):
+            root = _make_reduce_root(plan)
+        elif isinstance(plan, PhysNest):
+            root = _NestRoot(plan)
+        else:
+            raise ExecutionError(
+                f"the plan root must be Reduce or Nest, got {plan.describe()}"
+            )
+        # Refuse unsplittable / single-morsel driving scans *before*
+        # compiling: compilation materializes join build sides, and that work
+        # would be thrown away and redone by the serial fallback tier.
+        self._precheck_driving_scan(plan.child)
+        compiler = PipelineCompiler(
+            self.catalog,
+            self.plugins,
+            self.batch_size,
+            cache_manager=self.cache_manager,
+            counters=self.counters,
+            materializer=self._materialize,
+            table_builder=self._build_table,
+        )
+        pipeline = compiler.compile(plan.child)
+        names, columns = self._run_root(root, pipeline)
+        compiler.store_scan_caches()
+        return names, columns
+
+    # -- morsel execution ------------------------------------------------------
+
+    def _run_root(self, root: "_RootTask", pipeline: CompiledPipeline):
+        if pipeline.always_empty:
+            return root.merge([], self.counters)
+        morsels = self._plan_scan_morsels(pipeline)
+
+        def run_morsel(morsel: Morsel, worker_id: int):
+            counters = PipelineCounters()
+            state = root.new_state()
+            for batch in pipeline.source.iter_range(
+                morsel.start, morsel.stop, counters, self.batch_size
+            ):
+                out = pipeline.process(batch, counters)
+                if out is not None:
+                    root.update(state, out, counters)
+            return root.finish_morsel(state, counters), counters
+
+        results = self._pool.run(morsels, run_morsel)
+        self.morsels_dispatched += len(morsels)
+        self.morsels_stolen += self._pool.last_stolen
+        for _, counters in results:
+            self.counters.merge(counters)
+        return root.merge([partial for partial, _ in results], self.counters)
+
+    def _precheck_driving_scan(self, plan: PhysicalPlan) -> None:
+        """Cheaply reject plans whose driving scan cannot fan out.
+
+        Walks to the pipeline's streaming leaf exactly as the compiler will
+        (selects/unnests stream their child, joins stream their probe side)
+        and checks splittability and morsel count without compiling — i.e.
+        without materializing any join build side.  Cache availability is
+        probed with ``peek`` so hit statistics are not disturbed.
+        """
+        node = plan
+        while not isinstance(node, PhysScan):
+            if isinstance(node, (PhysSelect, PhysUnnest)):
+                node = node.child
+            elif isinstance(node, (PhysHashJoin, PhysNestedLoopJoin)):
+                node = node.right
+            else:
+                # An operator the compiler itself will reject; let compile
+                # raise its own, more precise error.
+                return
+        dataset = self.catalog.get(node.dataset)
+        plugin = self.plugins.get(dataset.format)
+        if plugin is None:
+            return  # compile raises ExecutionError with the right message
+        total_rows: int | None = None
+        if self.cache_manager is not None and plugin.format_name != "cache" and node.paths:
+            cached_lengths = []
+            for path in node.paths:
+                entry = self.cache_manager.peek(field_cache_key(dataset.name, tuple(path)))
+                if entry is None:
+                    cached_lengths = None
+                    break
+                cached_lengths.append(len(entry.data))
+            if cached_lengths:
+                total_rows = cached_lengths[0]
+        if total_rows is None:
+            if not plugin.supports_scan_ranges:
+                raise VectorizationError(
+                    f"scan of {dataset.name!r} ({plugin.format_name}) is not "
+                    "range-splittable; served by the serial vectorized tier"
+                )
+            total_rows = plugin.scan_row_count(dataset)
+            if total_rows is None:
+                raise VectorizationError(
+                    f"row count of {dataset.name!r} is unknown; served by the "
+                    "serial vectorized tier"
+                )
+        morsels = plan_morsels(
+            total_rows, self.batch_size, self.num_workers, self.morsel_rows
+        )
+        if len(morsels) <= 1:
+            raise VectorizationError(
+                "input fits a single morsel; served by the serial vectorized tier"
+            )
+
+    def _plan_scan_morsels(self, pipeline: CompiledPipeline) -> list[Morsel]:
+        source = pipeline.source
+        if not source.splittable:
+            raise VectorizationError(
+                f"scan of {source.dataset.name!r} ({source.plugin.format_name}) "
+                "is not range-splittable; served by the serial vectorized tier"
+            )
+        morsels = plan_morsels(
+            source.total_rows, self.batch_size, self.num_workers, self.morsel_rows
+        )
+        if len(morsels) <= 1:
+            raise VectorizationError(
+                "input fits a single morsel; served by the serial vectorized tier"
+            )
+        return morsels
+
+    # -- parallel build-side hooks ---------------------------------------------
+
+    def _materialize(
+        self, pipeline: CompiledPipeline, compiler: PipelineCompiler
+    ) -> Batch:
+        """Materialize a join build side, morsel-parallel when splittable.
+
+        Results are concatenated in morsel order, so the materialized batch
+        (and therefore every radix-table position in it) is identical to the
+        serially-built one.
+        """
+        if pipeline.always_empty:
+            return Batch(count=0)
+        source = pipeline.source
+        if not source.splittable:
+            return serial_materialize(pipeline, compiler)
+        morsels = plan_morsels(
+            source.total_rows, self.batch_size, self.num_workers, self.morsel_rows
+        )
+        if len(morsels) <= 1:
+            return serial_materialize(pipeline, compiler)
+
+        def run_morsel(morsel: Morsel, worker_id: int):
+            counters = PipelineCounters()
+            collected: list[Batch] = []
+            for batch in source.iter_range(
+                morsel.start, morsel.stop, counters, self.batch_size
+            ):
+                out = pipeline.process(batch, counters)
+                if out is not None:
+                    collected.append(out)
+            return collected, counters
+
+        results = self._pool.run(morsels, run_morsel)
+        self.morsels_dispatched += len(morsels)
+        self.morsels_stolen += self._pool.last_stolen
+        for _, counters in results:
+            self.counters.merge(counters)
+        return concat_batches(
+            [batch for batches, _ in results for batch in batches]
+        )
+
+    def _build_table(self, keys: np.ndarray) -> radix.RadixTable:
+        """Partitioned radix-table build: the hash partitioning runs once,
+        then the per-partition sort-clustering fans out across the workers.
+        The resulting table is identical to a serial build."""
+        keys = np.asarray(keys)
+        if len(keys) < MIN_PARALLEL_BUILD_KEYS:
+            return radix.build_radix_table(keys)
+        radix.reject_missing_keys(keys, "join")
+        num_partitions = 1 << radix.DEFAULT_RADIX_BITS
+        assignment = radix.partition_assignment(keys, num_partitions)
+        position_lists = [
+            np.nonzero(assignment == partition_id)[0]
+            for partition_id in range(num_partitions)
+        ]
+        partitions = self._pool.run(
+            position_lists,
+            lambda positions, worker_id: radix.cluster_partition(keys, positions),
+        )
+        return radix.RadixTable(
+            partitions=partitions,
+            num_partitions=num_partitions,
+            build_size=len(keys),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Root tasks: per-morsel partial states and their ordered merges
+# ---------------------------------------------------------------------------
+
+
+class _RootTask:
+    """Protocol of a plan root under morsel execution.
+
+    ``new_state``/``update``/``finish_morsel`` run inside workers over one
+    morsel each; ``merge`` runs on the main thread and consumes the partial
+    results in morsel order.
+    """
+
+    def new_state(self) -> Any:
+        raise NotImplementedError
+
+    def update(self, state: Any, batch: Batch, counters: PipelineCounters) -> None:
+        raise NotImplementedError
+
+    def finish_morsel(self, state: Any, counters: PipelineCounters) -> Any:
+        return state
+
+    def merge(
+        self, partials: list, counters: PipelineCounters
+    ) -> tuple[list[str], dict[str, Any]]:
+        raise NotImplementedError
+
+
+def _make_reduce_root(plan: PhysReduce) -> "_RootTask":
+    aggregated = any(
+        contains_aggregate(column.expression) for column in plan.columns
+    )
+    return _GlobalAggregateRoot(plan) if aggregated else _ProjectionRoot(plan)
+
+
+class _ProjectionRoot(_RootTask):
+    """Reduce without aggregates: per-morsel column chunks, concatenated in
+    morsel order (bit-identical to the serial tier)."""
+
+    def __init__(self, plan: PhysReduce):
+        self.plan = plan
+        self.names = [column.name for column in plan.columns]
+        self.unique_columns = unique_output_columns(plan.columns)
+
+    def new_state(self) -> dict:
+        return {"chunks": {name: [] for name in self.names}, "total": 0}
+
+    def update(self, state: dict, batch: Batch, counters: PipelineCounters) -> None:
+        for column in self.unique_columns:
+            state["chunks"][column.name].append(
+                materialize(evaluate_batch(column.expression, batch), batch.count)
+            )
+        state["total"] += batch.count
+
+    def finish_morsel(self, state: dict, counters: PipelineCounters) -> dict:
+        counters.output_rows += state["total"]
+        return state
+
+    def merge(self, partials: list, counters: PipelineCounters):
+        columns: dict[str, Any] = {}
+        for name in self.names:
+            parts = [
+                chunk
+                for partial in partials
+                for chunk in partial["chunks"][name]
+            ]
+            columns[name] = (
+                np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
+            )
+        return self.names, columns
+
+
+class _GlobalAggregateRoot(_RootTask):
+    """Reduce with aggregates: one partial accumulator per morsel, merged in
+    morsel order and finalized exactly like the serial tier."""
+
+    def __init__(self, plan: PhysReduce):
+        self.plan = plan
+        self.names = [column.name for column in plan.columns]
+
+    def new_state(self) -> _BatchAggregates:
+        return _BatchAggregates(self.plan.columns)
+
+    def update(
+        self, state: _BatchAggregates, batch: Batch, counters: PipelineCounters
+    ) -> None:
+        state.update(batch)
+
+    def merge(self, partials: list, counters: PipelineCounters):
+        accumulators = _BatchAggregates(self.plan.columns)
+        for partial in partials:
+            accumulators.merge(partial)
+        values = accumulators.finalize()
+        counters.output_rows += 1
+        columns: dict[str, Any] = {}
+        for column in self.plan.columns:
+            final = replace_aggregates(column.expression, literal_results(values))
+            columns[column.name] = [_python_value(final.evaluate({}))]
+        return self.names, columns
+
+
+@dataclass
+class _GroupPartial:
+    """Partially aggregated groups of one morsel."""
+
+    key_arrays: list[np.ndarray]
+    #: fingerprint → partial result column (aligned with ``key_arrays``);
+    #: ``avg`` decomposes into its ``{"sum": ..., "count": ...}`` parts.
+    aggregates: dict[tuple, Any]
+
+
+class _NestRoot(_RootTask):
+    """Group-by: per-morsel partial radix grouping + partial aggregates, then
+    a second-level grouped merge over the union of partial groups.
+
+    The merge functions are the aggregate monoids: partial counts are summed,
+    partial sums summed, partial extrema re-reduced, partial booleans
+    re-combined, and ``avg`` is carried as (sum, count) and divided once at
+    the end.  Group output order is the lexicographic key order
+    ``radix_group`` produces, which is the same order the serial tier emits.
+    """
+
+    def __init__(self, plan: PhysNest):
+        self.plan = plan
+        self.names = [column.name for column in plan.columns]
+        self.group_key_fingerprints, self.aggregates = collect_nest_aggregates(plan)
+
+    def new_state(self) -> dict:
+        return {
+            "key_chunks": [[] for _ in self.plan.group_by],
+            "argument_chunks": {
+                aggregate.fingerprint(): []
+                for aggregate in self.aggregates
+                if aggregate.argument is not None
+            },
+            "total": 0,
+        }
+
+    def update(self, state: dict, batch: Batch, counters: PipelineCounters) -> None:
+        for index, expression in enumerate(self.plan.group_by):
+            state["key_chunks"][index].append(
+                materialize(evaluate_batch(expression, batch), batch.count)
+            )
+        for aggregate in self.aggregates:
+            if aggregate.argument is None:
+                continue
+            state["argument_chunks"][aggregate.fingerprint()].append(
+                materialize(evaluate_batch(aggregate.argument, batch), batch.count)
+            )
+        state["total"] += batch.count
+
+    def finish_morsel(
+        self, state: dict, counters: PipelineCounters
+    ) -> _GroupPartial | None:
+        if state["total"] == 0:
+            return None  # an empty morsel contributes no partial groups
+        key_arrays = [np.concatenate(chunks) for chunks in state["key_chunks"]]
+        # radix_group raises VectorizationError for keys containing missing
+        # values; the pool re-raises it and the engine falls back.
+        grouping = radix.radix_group(key_arrays)
+        partial_aggregates: dict[tuple, Any] = {}
+        for aggregate in self.aggregates:
+            fingerprint = aggregate.fingerprint()
+            values = (
+                np.concatenate(state["argument_chunks"][fingerprint])
+                if aggregate.argument is not None
+                else None
+            )
+            if aggregate.func == "avg":
+                partial_aggregates[fingerprint] = {
+                    "sum": radix.group_aggregate(
+                        "sum", grouping.group_ids, grouping.num_groups, values
+                    ),
+                    "count": radix.group_aggregate(
+                        "count", grouping.group_ids, grouping.num_groups, values
+                    ),
+                }
+            else:
+                partial_aggregates[fingerprint] = radix.group_aggregate(
+                    aggregate.func, grouping.group_ids, grouping.num_groups, values
+                )
+        return _GroupPartial(grouping.key_arrays, partial_aggregates)
+
+    #: How a partial aggregate column is re-reduced across morsels.
+    _MERGE_FUNCS = {
+        "count": "sum",
+        "sum": "sum",
+        "min": "min",
+        "max": "max",
+        "and": "and",
+        "or": "or",
+    }
+
+    def merge(self, partials: list, counters: PipelineCounters):
+        partials = [partial for partial in partials if partial is not None]
+        if not partials:
+            return self.names, {name: [] for name in self.names}
+        merged_keys = [
+            np.concatenate([partial.key_arrays[index] for partial in partials])
+            for index in range(len(self.plan.group_by))
+        ]
+        grouping = radix.radix_group(merged_keys)
+        counters.groups_built += grouping.num_groups
+        counters.output_rows += grouping.num_groups
+        aggregate_results: dict[tuple, np.ndarray] = {}
+        for aggregate in self.aggregates:
+            fingerprint = aggregate.fingerprint()
+            if aggregate.func == "avg":
+                sums = radix.group_aggregate(
+                    "sum",
+                    grouping.group_ids,
+                    grouping.num_groups,
+                    np.concatenate(
+                        [partial.aggregates[fingerprint]["sum"] for partial in partials]
+                    ),
+                )
+                valid_counts = radix.group_aggregate(
+                    "sum",
+                    grouping.group_ids,
+                    grouping.num_groups,
+                    np.concatenate(
+                        [partial.aggregates[fingerprint]["count"] for partial in partials]
+                    ),
+                )
+                aggregate_results[fingerprint] = _finish_avg(sums, valid_counts)
+                continue
+            stacked = np.concatenate(
+                [partial.aggregates[fingerprint] for partial in partials]
+            )
+            aggregate_results[fingerprint] = radix.group_aggregate(
+                self._MERGE_FUNCS[aggregate.func],
+                grouping.group_ids,
+                grouping.num_groups,
+                stacked,
+            )
+        columns = finish_nest_columns(
+            self.plan, self.group_key_fingerprints, grouping, aggregate_results
+        )
+        return self.names, columns
+
+
+def _finish_avg(sums: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Combine merged (sum, count) partials into per-group averages, with the
+    same empty-group NaN semantics as the grouping kernel."""
+    counts = np.asarray(counts)
+    if sums.dtype == object:
+        return np.asarray(
+            [
+                total / count if count else float("nan")
+                for total, count in zip(sums.tolist(), counts.tolist())
+            ]
+        )
+    with np.errstate(invalid="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)

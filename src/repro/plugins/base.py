@@ -110,6 +110,12 @@ class InputPlugin(ABC):
     #: policy (JSON > CSV > binary).
     field_access_cost: float = 1.0
 
+    #: Whether :meth:`scan_batch_ranges` has a genuinely splittable
+    #: implementation.  The morsel-driven parallel tier only splits scans of
+    #: plug-ins that set this to ``True``; everything else transparently runs
+    #: on the serial tiers.
+    supports_scan_ranges: bool = False
+
     def __init__(self, memory: MemoryManager):
         self.memory = memory
 
@@ -186,6 +192,39 @@ class InputPlugin(ABC):
                 pending = []
         if pending:
             yield self._shim_batch(pending, paths, start)
+
+    def scan_row_count(self, dataset: Dataset) -> int | None:
+        """Total number of scannable rows, or ``None`` when counting would
+        require a full pass over the source.
+
+        A known row count is what lets the morsel-driven parallel tier split
+        a scan into independent row ranges up front; plug-ins backed by a
+        structural index or binary layout know it for free.
+        """
+        return None
+
+    def scan_batch_ranges(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        start: int,
+        stop: int,
+        batch_size: int = 4096,
+    ) -> Iterator[ScanBuffers]:
+        """Yield the requested fields for global rows ``[start, stop)`` as
+        columnar batches (OIDs carry the global row positions).
+
+        This is the *splittable* access path of the morsel-driven parallel
+        tier: disjoint ranges must be servable concurrently from different
+        threads without touching shared mutable plug-in state.  Plug-ins
+        that implement it natively set :attr:`supports_scan_ranges`; the
+        default refuses, which makes the parallel tier fall back to the
+        serial vectorized executor.
+        """
+        raise PluginError(
+            f"format {self.format_name!r} does not support range-partitioned "
+            "scans"
+        )
 
     def _shim_batch(
         self, records: list[dict], paths: Sequence[FieldPath], start: int

@@ -9,6 +9,7 @@ rank binary data below CSV and JSON.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator, Sequence
 
 import numpy as np
@@ -25,17 +26,25 @@ class BinaryColumnPlugin(InputPlugin):
 
     format_name = "binary_column"
     field_access_cost = 0.05
+    supports_scan_ranges = True
 
     def __init__(self, memory):
         super().__init__(memory)
         self._tables: dict[str, ColumnTable] = {}
+        self._table_lock = threading.Lock()
 
     def _table(self, dataset: Dataset) -> ColumnTable:
+        # Double-checked locking: load the memory-mapped table exactly once
+        # even under concurrent first access from parallel workers.
         table = self._tables.get(dataset.name)
-        if table is None:
-            table = read_column_table(dataset.path)
-            self._tables[dataset.name] = table
-        return table
+        if table is not None:
+            return table
+        with self._table_lock:
+            table = self._tables.get(dataset.name)
+            if table is None:
+                table = read_column_table(dataset.path)
+                self._tables[dataset.name] = table
+            return table
 
     def invalidate(self, dataset_name: str) -> None:
         self._tables.pop(dataset_name, None)
@@ -89,6 +98,35 @@ class BinaryColumnPlugin(InputPlugin):
             )
             for path in paths:
                 buffers.columns[path] = arrays[path][start:stop]
+            yield buffers
+
+    def scan_row_count(self, dataset: Dataset) -> int:
+        return self._table(dataset).row_count
+
+    def scan_batch_ranges(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        start: int,
+        stop: int,
+        batch_size: int = 4096,
+    ):
+        """Range-partitioned scan for the morsel-driven parallel tier: each
+        batch is a zero-copy slice of the memory-mapped column arrays, so
+        disjoint ranges are trivially safe to serve concurrently."""
+        table = self._table(dataset)
+        stop = min(stop, table.row_count)
+        paths = [tuple(path) for path in paths]
+        arrays = {
+            path: np.asarray(table.column(require_flat_path(path))) for path in paths
+        }
+        for begin in range(start, stop, batch_size):
+            end = min(begin + batch_size, stop)
+            buffers = ScanBuffers(
+                count=end - begin, oids=np.arange(begin, end, dtype=np.int64)
+            )
+            for path in paths:
+                buffers.columns[path] = arrays[path][begin:end]
             yield buffers
 
     # -- tuple-at-a-time access -----------------------------------------------------

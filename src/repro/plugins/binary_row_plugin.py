@@ -9,6 +9,7 @@ reflects.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator, Sequence
 
 import numpy as np
@@ -29,13 +30,22 @@ class BinaryRowPlugin(InputPlugin):
     def __init__(self, memory):
         super().__init__(memory)
         self._tables: dict[str, RowTable] = {}
+        self._table_lock = threading.Lock()
 
     def _table(self, dataset: Dataset) -> RowTable:
+        # Double-checked locking: load the table exactly once even under
+        # concurrent first access.  The per-tuple batch shim stays the scan
+        # path (supports_scan_ranges is False), so the parallel tier
+        # transparently leaves this format to the serial executors.
         table = self._tables.get(dataset.name)
-        if table is None:
-            table = read_row_table(dataset.path)
-            self._tables[dataset.name] = table
-        return table
+        if table is not None:
+            return table
+        with self._table_lock:
+            table = self._tables.get(dataset.name)
+            if table is None:
+                table = read_row_table(dataset.path)
+                self._tables[dataset.name] = table
+            return table
 
     def invalidate(self, dataset_name: str) -> None:
         self._tables.pop(dataset_name, None)

@@ -11,6 +11,7 @@ the Symantec workload.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
@@ -94,33 +95,46 @@ class CsvPlugin(InputPlugin):
 
     format_name = "csv"
     field_access_cost = 1.0
+    supports_scan_ranges = True
 
     def __init__(self, memory):
         super().__init__(memory)
         self._states: dict[str, _CsvState] = {}
+        self._state_lock = threading.Lock()
 
     # -- dataset state --------------------------------------------------------
 
     def _state(self, dataset: Dataset) -> _CsvState:
+        # Double-checked locking: concurrent workers hitting a cold dataset
+        # must not build (and race to publish) the structural index twice;
+        # once published, the state is immutable and read lock-free.
         state = self._states.get(dataset.name)
         if state is not None:
             return state
-        started = time.perf_counter()
-        mapped = self.memory.map_file(dataset.path)
-        data = bytes(mapped.data) if mapped.mapped else mapped.data
-        delimiter = dataset.options.get("delimiter", ",")
-        has_header = dataset.options.get("has_header", True)
-        stride = dataset.options.get("stride", 5)
-        index = build_csv_index(data, delimiter=delimiter, has_header=has_header, stride=stride)
-        header = self._read_header(data, dataset, delimiter, has_header, index.field_count)
-        state = _CsvState(
-            data=data,
-            index=index,
-            header=header,
-            build_seconds=time.perf_counter() - started,
-        )
-        self._states[dataset.name] = state
-        return state
+        with self._state_lock:
+            state = self._states.get(dataset.name)
+            if state is not None:
+                return state
+            started = time.perf_counter()
+            mapped = self.memory.map_file(dataset.path)
+            data = bytes(mapped.data) if mapped.mapped else mapped.data
+            delimiter = dataset.options.get("delimiter", ",")
+            has_header = dataset.options.get("has_header", True)
+            stride = dataset.options.get("stride", 5)
+            index = build_csv_index(
+                data, delimiter=delimiter, has_header=has_header, stride=stride
+            )
+            header = self._read_header(
+                data, dataset, delimiter, has_header, index.field_count
+            )
+            state = _CsvState(
+                data=data,
+                index=index,
+                header=header,
+                build_seconds=time.perf_counter() - started,
+            )
+            self._states[dataset.name] = state
+            return state
 
     @staticmethod
     def _read_header(
@@ -209,6 +223,34 @@ class CsvPlugin(InputPlugin):
             for path in paths:
                 buffers.columns[path] = self._convert_rows(
                     dataset, state, path, range(start, stop)
+                )
+            yield buffers
+
+    def scan_row_count(self, dataset: Dataset) -> int:
+        return self._state(dataset).index.num_rows
+
+    def scan_batch_ranges(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        start: int,
+        stop: int,
+        batch_size: int = 4096,
+    ):
+        """Range-partitioned scan for the morsel-driven parallel tier: the
+        positional structural index makes any row range directly addressable,
+        so disjoint ranges convert concurrently without shared state."""
+        state = self._state(dataset)
+        stop = min(stop, state.index.num_rows)
+        paths = [tuple(path) for path in paths]
+        for begin in range(start, stop, batch_size):
+            end = min(begin + batch_size, stop)
+            buffers = ScanBuffers(
+                count=end - begin, oids=np.arange(begin, end, dtype=np.int64)
+            )
+            for path in paths:
+                buffers.columns[path] = self._convert_rows(
+                    dataset, state, path, range(begin, end)
                 )
             yield buffers
 

@@ -17,6 +17,7 @@ the array spans.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
@@ -59,24 +60,37 @@ class JsonPlugin(InputPlugin):
 
     format_name = "json"
     field_access_cost = 2.5
+    supports_scan_ranges = True
 
     def __init__(self, memory):
         super().__init__(memory)
         self._states: dict[str, _JsonState] = {}
+        self._state_lock = threading.Lock()
 
     # -- dataset state ---------------------------------------------------------
 
     def _state(self, dataset: Dataset) -> _JsonState:
+        # Double-checked locking: the structural index must be built exactly
+        # once even when parallel workers hit a cold dataset concurrently;
+        # after publication the state is immutable and read lock-free.
         state = self._states.get(dataset.name)
         if state is not None:
             return state
-        started = time.perf_counter()
-        mapped = self.memory.map_file(dataset.path)
-        data = bytes(mapped.data) if mapped.mapped else mapped.data
-        index = build_json_index(data, max_depth=dataset.options.get("max_depth", 8))
-        state = _JsonState(data=data, index=index, build_seconds=time.perf_counter() - started)
-        self._states[dataset.name] = state
-        return state
+        with self._state_lock:
+            state = self._states.get(dataset.name)
+            if state is not None:
+                return state
+            started = time.perf_counter()
+            mapped = self.memory.map_file(dataset.path)
+            data = bytes(mapped.data) if mapped.mapped else mapped.data
+            index = build_json_index(
+                data, max_depth=dataset.options.get("max_depth", 8)
+            )
+            state = _JsonState(
+                data=data, index=index, build_seconds=time.perf_counter() - started
+            )
+            self._states[dataset.name] = state
+            return state
 
     def invalidate(self, dataset_name: str) -> None:
         """Drop per-dataset state (used when the underlying file changes)."""
@@ -150,6 +164,32 @@ class JsonPlugin(InputPlugin):
             stop = min(start + batch_size, count)
             positions = np.arange(start, stop, dtype=np.int64)
             buffers = ScanBuffers(count=stop - start, oids=positions)
+            for path in paths:
+                buffers.columns[tuple(path)] = self._extract_column(
+                    dataset, state, tuple(path), positions=positions
+                )
+            yield buffers
+
+    def scan_row_count(self, dataset: Dataset) -> int:
+        return self._state(dataset).index.num_objects
+
+    def scan_batch_ranges(
+        self,
+        dataset: Dataset,
+        paths: Sequence[FieldPath],
+        start: int,
+        stop: int,
+        batch_size: int = 4096,
+    ):
+        """Range-partitioned scan for the morsel-driven parallel tier: the
+        structural index addresses any object range directly, so disjoint
+        ranges extract concurrently without shared state."""
+        state = self._state(dataset)
+        stop = min(stop, state.index.num_objects)
+        for begin in range(start, stop, batch_size):
+            end = min(begin + batch_size, stop)
+            positions = np.arange(begin, end, dtype=np.int64)
+            buffers = ScanBuffers(count=end - begin, oids=positions)
             for path in paths:
                 buffers.columns[tuple(path)] = self._extract_column(
                     dataset, state, tuple(path), positions=positions

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
@@ -37,24 +38,34 @@ class MemoryManager:
 
     def __init__(self, cache_budget_bytes: int = 256 * 1024 * 1024):
         self._mapped: dict[str, MappedFile] = {}
+        self._map_lock = threading.Lock()
         self.arena = CacheArena(cache_budget_bytes)
 
     def map_file(self, path: str) -> MappedFile:
-        """Memory-map ``path`` read-only (empty files fall back to ``b""``)."""
+        """Memory-map ``path`` read-only (empty files fall back to ``b""``).
+
+        Thread-safe: concurrent parallel-tier workers faulting in the same
+        cold file map it exactly once.
+        """
         real = os.path.abspath(path)
-        if real in self._mapped:
-            return self._mapped[real]
-        if not os.path.exists(real):
-            raise StorageError(f"cannot map missing file {path!r}")
-        size = os.path.getsize(real)
-        if size == 0:
-            mapped = MappedFile(real, b"", 0, mapped=False)
-        else:
-            with open(real, "rb") as handle:
-                buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
-            mapped = MappedFile(real, buffer, size, mapped=True)
-        self._mapped[real] = mapped
-        return mapped
+        existing = self._mapped.get(real)
+        if existing is not None:
+            return existing
+        with self._map_lock:
+            existing = self._mapped.get(real)
+            if existing is not None:
+                return existing
+            if not os.path.exists(real):
+                raise StorageError(f"cannot map missing file {path!r}")
+            size = os.path.getsize(real)
+            if size == 0:
+                mapped = MappedFile(real, b"", 0, mapped=False)
+            else:
+                with open(real, "rb") as handle:
+                    buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                mapped = MappedFile(real, buffer, size, mapped=True)
+            self._mapped[real] = mapped
+            return mapped
 
     def release(self, path: str) -> None:
         """Unmap a file if it is currently mapped."""
