@@ -1,0 +1,128 @@
+"""Prepared-statement reuse benchmark: compile-once vs per-call specialization.
+
+The paper's per-query specialization pays a fixed frontend cost — parse,
+bind, plan, generate and compile code — on every new query fingerprint.  The
+dominant serving pattern, however, is *same shape, different constants*: this
+benchmark runs N executions of one prepared parameterized query
+(``prepare()`` once, ``execute(value)`` N times, one compiled program) against
+N cold ``query()`` calls whose literal constants change per call (every call
+re-parses, re-plans and re-generates code because the literal is baked into
+the plan fingerprint).
+
+Standalone script (like ``bench_vectorized_fallback.py``) so CI can smoke it::
+
+    PYTHONPATH=src python benchmarks/bench_prepared_reuse.py --quick
+
+Exits non-zero if prepared reuse fails to beat the cold path by the required
+margin, if the prepared path compiles more than one program, or if the two
+paths disagree on any result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+
+def build_dataset(directory: str, rows: int) -> str:
+    from repro.core import types as t
+    from repro.storage.binary_format import write_column_table
+
+    rng = np.random.RandomState(11)
+    schema = t.make_schema({"id": "int", "qty": "int", "price": "float"})
+    columns = {
+        "id": np.arange(rows, dtype=np.int64),
+        "qty": rng.randint(0, 100, size=rows).astype(np.int64),
+        "price": np.round(rng.uniform(1.0, 1000.0, size=rows), 2),
+    }
+    path = f"{directory}/prepared_columns"
+    write_column_table(path, columns, schema)
+    return path
+
+
+def make_engine(path: str):
+    from repro import ProteusEngine
+
+    engine = ProteusEngine(enable_caching=False)
+    engine.register_binary_columns("lineitem", path)
+    return engine
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=20_000,
+                        help="table cardinality (default 20k)")
+    parser.add_argument("--executions", type=int, default=40,
+                        help="executions per side (distinct constants)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 5k rows, 20 executions")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required prepared-over-cold speedup")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rows = min(args.rows, 5_000)
+        args.executions = min(args.executions, 20)
+
+    shape = "SELECT COUNT(*) AS n, SUM(price) AS total FROM lineitem WHERE qty < {}"
+    thresholds = [1 + (i % 97) for i in range(args.executions)]
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = build_dataset(directory, args.rows)
+        print(f"dataset: {args.rows} rows binary-column")
+        print(f"shape:   {shape.format('?')}  x{args.executions} constants")
+
+        # Cold side: every call is a new literal text -> full frontend
+        # (parse, plan, codegen) per call.
+        cold_engine = make_engine(path)
+        cold_results = []
+        started = time.perf_counter()
+        for value in thresholds:
+            cold_results.append(cold_engine.query(shape.format(value)).rows)
+        cold_seconds = time.perf_counter() - started
+
+        # Prepared side: one shape, one compiled program, N bindings.
+        prepared_engine = make_engine(path)
+        prepared = prepared_engine.prepare(shape.format("?"))
+        warm = prepared.execute(thresholds[0])  # includes the one codegen
+        prepared_results = []
+        started = time.perf_counter()
+        for value in thresholds:
+            prepared_results.append(prepared.execute(value).rows)
+        prepared_seconds = time.perf_counter() - started
+
+        if warm.tier != "codegen":
+            print(f"FAIL: expected the codegen tier, ran {warm.tier!r}")
+            return 1
+        compiled = len(prepared_engine._compiled)
+        if compiled != 1:
+            print(f"FAIL: prepared side compiled {compiled} programs, expected 1")
+            return 1
+        last_profile = prepared_engine.last_profile
+        if last_profile is None or not last_profile.compiled_from_cache:
+            print("FAIL: repeated execution did not reuse the compiled program")
+            return 1
+        if prepared_results != cold_results:
+            print("FAIL: prepared and cold paths disagree on results")
+            return 1
+
+        per_cold = cold_seconds / args.executions * 1e3
+        per_prepared = prepared_seconds / args.executions * 1e3
+        speedup = cold_seconds / prepared_seconds if prepared_seconds else float("inf")
+        print(f"\n{'path':<10} {'total s':>10} {'ms/exec':>10}")
+        print(f"{'cold':<10} {cold_seconds:>10.4f} {per_cold:>10.3f}")
+        print(f"{'prepared':<10} {prepared_seconds:>10.4f} {per_prepared:>10.3f}")
+        if speedup < args.min_speedup:
+            print(f"\nFAIL: prepared reuse speedup {speedup:.1f}x is below the "
+                  f"required {args.min_speedup:.1f}x")
+            return 1
+        print(f"\nOK: prepared reuse beats per-call specialization "
+              f"{speedup:.1f}x (one codegen, identical results)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,16 @@
   paper's evaluation.
 """
 
-from repro.core.engine import ProteusEngine, QueryResult
+from repro.core.engine import PreparedQuery, ProteusEngine, QueryResult, ResultSet
 from repro.errors import ProteusError
 
 __version__ = "1.0.0"
 
-__all__ = ["ProteusEngine", "QueryResult", "ProteusError", "__version__"]
+__all__ = [
+    "PreparedQuery",
+    "ProteusEngine",
+    "QueryResult",
+    "ResultSet",
+    "ProteusError",
+    "__version__",
+]

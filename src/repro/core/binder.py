@@ -28,6 +28,7 @@ from repro.core.expressions import (
     IfThenElse,
     Literal,
     OutputColumn,
+    Parameter,
     RecordConstruct,
     UnaryOp,
 )
@@ -129,7 +130,9 @@ class _Binder:
     def bind(self, expression: Expression) -> Expression:
         if isinstance(expression, FieldRef):
             return self._bind_field(expression)
-        if isinstance(expression, Literal):
+        if isinstance(expression, (Literal, Parameter)):
+            # Parameters resolve to values at execution time, not to columns;
+            # they pass through binding (and normalization) untouched.
             return expression
         if isinstance(expression, BinaryOp):
             return BinaryOp(expression.op, self.bind(expression.left), self.bind(expression.right))

@@ -23,6 +23,7 @@ from repro.core.expressions import (
     FieldRef,
     OutputColumn,
     conjuncts,
+    iter_parameters,
     to_string,
 )
 from repro.errors import TranslationError
@@ -118,7 +119,8 @@ class Comprehension:
     GROUP BY clause (empty for pure reductions and for collection output).
     ``order_by`` optionally names output columns to sort the final result by
     (the reproduction sorts the materialized result; ordering is not part of
-    the monoid itself).
+    the monoid itself).  ``limit`` may be a literal int or a
+    :class:`~repro.core.expressions.Parameter` bound at execution time.
     """
 
     monoid: str
@@ -126,7 +128,7 @@ class Comprehension:
     qualifiers: list[Qualifier] = field(default_factory=list)
     group_by: list[Expression] = field(default_factory=list)
     order_by: list[tuple[str, bool]] = field(default_factory=list)
-    limit: int | None = None
+    limit: "int | Expression | None" = None
 
     # -- convenience accessors ---------------------------------------------
 
@@ -146,6 +148,24 @@ class Comprehension:
             for g in self.generators()
             if isinstance(g.source, DatasetSource)
         ]
+
+    def parameters(self) -> list[int | str]:
+        """Query-parameter keys referenced anywhere in the comprehension
+        (filters, head, group-by), deduplicated in first-appearance order:
+        positional ``?`` placeholders appear as 0-based ints, named ``:name``
+        placeholders as strings."""
+        seen: dict[int | str, None] = {}
+        expressions: list[Expression] = [
+            f.predicate for f in self.filters()
+        ]
+        expressions.extend(column.expression for column in self.head)
+        expressions.extend(self.group_by)
+        if isinstance(self.limit, Expression):
+            expressions.append(self.limit)
+        for expression in expressions:
+            for parameter in iter_parameters(expression):
+                seen.setdefault(parameter.key)
+        return list(seen)
 
     def fingerprint(self) -> tuple:
         return (

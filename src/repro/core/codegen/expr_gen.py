@@ -19,6 +19,7 @@ from repro.core.expressions import (
     FieldRef,
     IfThenElse,
     Literal,
+    Parameter,
     RecordConstruct,
     UnaryOp,
 )
@@ -43,6 +44,11 @@ def generate_expression(expression: Expression, buffers: BufferMap) -> str:
     the virtual buffers."""
     if isinstance(expression, Literal):
         return repr(expression.value)
+    if isinstance(expression, Parameter):
+        # Parameters stay runtime lookups instead of inlined constants, so
+        # one compiled program serves every parameter binding (the plan
+        # fingerprint abstracts the value the same way).
+        return f"rt.param({expression.key!r})"
     if isinstance(expression, FieldRef):
         key = (expression.binding, tuple(expression.path))
         variable = buffers.get(key)
@@ -98,7 +104,7 @@ def generate_expression(expression: Expression, buffers: BufferMap) -> str:
 
 def supported_by_codegen(expression: Expression) -> bool:
     """Whether the vectorized generator can evaluate ``expression``."""
-    if isinstance(expression, (Literal, FieldRef)):
+    if isinstance(expression, (Literal, FieldRef, Parameter)):
         return True
     if isinstance(expression, (BinaryOp, UnaryOp, IfThenElse)):
         return all(supported_by_codegen(child) for child in expression.children())

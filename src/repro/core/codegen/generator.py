@@ -30,6 +30,7 @@ from repro.core.expressions import (
     FieldRef,
     contains_aggregate,
     iter_aggregates,
+    iter_parameters,
 )
 from repro.core.physical import (
     PhysHashJoin,
@@ -40,6 +41,7 @@ from repro.core.physical import (
     PhysSelect,
     PhysUnnest,
     PhysicalPlan,
+    parameters_of,
 )
 from repro.errors import CodegenError
 from repro.plugins.base import InputPlugin
@@ -266,12 +268,20 @@ class CodeGenerator:
         build_dataset, build_format = self._side_source(node.left)
         cache_key = (node.left.fingerprint(), node.left_key.fingerprint())
         cache_key_var = ctx.register_constant("join_key", cache_key)
+        # The fingerprints above abstract parameter values; the runtime folds
+        # the bound values of these keys back into the cache key so builds
+        # with different constants never share a cached table.
+        build_params: dict = {}
+        for key in parameters_of(node.left):
+            build_params.setdefault(key)
+        for parameter in iter_parameters(node.left_key):
+            build_params.setdefault(parameter.key)
         left_idx = ctx.fresh("left_idx")
         right_idx = ctx.fresh("right_idx")
         ctx.emit(
             f"{left_idx}, {right_idx} = rt.radix_join({left_key_var}, {right_key_var}, "
             f"build_cache_key={cache_key_var}, source_format={build_format!r}, "
-            f"dataset={build_dataset!r})"
+            f"dataset={build_dataset!r}, param_keys={tuple(build_params)!r})"
         )
         joined = _Buffers()
         for key, variable in left.columns.items():

@@ -52,6 +52,9 @@ class ExecutionProfile:
     #: Morsels executed / obtained by stealing on the parallel tier.
     morsels_dispatched: int = 0
     morsels_stolen: int = 0
+    #: True when the codegen tier served this execution from an
+    #: already-compiled program (no code generation happened on this call).
+    compiled_from_cache: bool = False
 
     def merge(self, other: "ExecutionProfile") -> None:
         self.rows_scanned += other.rows_scanned
@@ -75,11 +78,26 @@ class QueryRuntime:
         catalog: Catalog,
         plugins: Mapping[str, InputPlugin],
         cache_manager: CacheManager | None = None,
+        params: Mapping[int | str, object] | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
         self.cache_manager = cache_manager
+        self.params: Mapping[int | str, object] = params if params is not None else {}
         self.profile = ExecutionProfile()
+
+    # -- parameters ----------------------------------------------------------------
+
+    def param(self, key: int | str):
+        """The bound value of one query parameter (generated code calls this
+        instead of baking the constant in, so the program is reusable)."""
+        try:
+            return self.params[key]
+        except KeyError as exc:
+            display = f"?{key}" if isinstance(key, int) else f":{key}"
+            raise ExecutionError(
+                f"query parameter {display} is not bound"
+            ) from exc
 
     # -- data access ---------------------------------------------------------------
 
@@ -219,8 +237,25 @@ class QueryRuntime:
         build_cache_key: tuple | None = None,
         source_format: str = "binary_column",
         dataset: str = "",
+        param_keys: tuple = (),
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Radix hash join; the build side may be served from / added to the cache."""
+        """Radix hash join; the build side may be served from / added to the cache.
+
+        ``param_keys`` names the query parameters the build side depends on:
+        the plan fingerprint inside ``build_cache_key`` abstracts parameter
+        *values*, so the bound values must be folded back into the cache key —
+        otherwise two executions with different constants (and coincidentally
+        equal build cardinalities) could share a stale build table.
+        """
+        if build_cache_key is not None and param_keys:
+            try:
+                build_cache_key = tuple(build_cache_key) + tuple(
+                    (key, self.params.get(key)) for key in param_keys
+                )
+                hash(build_cache_key)
+            except TypeError:
+                # Unhashable parameter values: skip build-side caching.
+                build_cache_key = None
         table = None
         manager = self.cache_manager
         if manager is not None and build_cache_key is not None:

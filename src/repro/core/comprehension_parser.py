@@ -16,6 +16,10 @@ Inside the braces, a comma-separated list of qualifiers mixes generators
 an aggregate monoid (``sum``, ``count``, ``max``, ``min``, ``avg``) followed
 by a single expression (``count`` may stand alone).  Output columns can be
 named with ``expr as name``.
+
+Query parameters (``?`` positional / ``:name`` named) are accepted anywhere a
+scalar expression is, mirroring the SQL frontend: they parse into
+:class:`~repro.core.expressions.Parameter` nodes bound at execution time.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.core.expressions import (
     FieldRef,
     Literal,
     OutputColumn,
+    Parameter,
     UnaryOp,
 )
 from repro.core.lexer import IDENT, NUMBER, STRING, SYMBOL, TokenStream
@@ -56,6 +61,8 @@ class _ComprehensionParser:
     def __init__(self, stream: TokenStream):
         self.stream = stream
         self.bound_vars: set[str] = set()
+        #: Number of ``?`` placeholders seen so far (0-based positional keys).
+        self.positional_parameters = 0
 
     def parse(self) -> Comprehension:
         self.stream.expect(IDENT, "for")
@@ -214,6 +221,15 @@ class _ComprehensionParser:
             inner = self._parse_expression()
             self.stream.expect(SYMBOL, ")")
             return inner
+        if token.kind == SYMBOL and token.value == "?":
+            self.stream.advance()
+            index = self.positional_parameters
+            self.positional_parameters += 1
+            return Parameter(index)
+        if token.kind == SYMBOL and token.value == ":":
+            self.stream.advance()
+            name = self.stream.expect(IDENT).value
+            return Parameter(name)
         if token.kind == IDENT:
             lowered = token.value.lower()
             if lowered in ("true", "false"):

@@ -32,28 +32,41 @@ the paper describes:
    The ablation flags ``enable_codegen``, ``enable_parallel`` and
    ``enable_vectorized`` disable tiers individually (``enable_vectorized``
    disables both batch tiers); ``ExecutionProfile.execution_tier`` records
-   which tier actually served each query.
+   which tier actually served each query, and :meth:`ProteusEngine.explain`
+   reports the whole cascade decision for a query without running it.
 4. caches are populated as a side effect and reused by later queries — by
    the generated tier *and*, since the parallel subsystem landed, by both
    batch interpreters.
+
+The v2 query API is built around **prepared statements**: the specialization
+the paper bets on pays for itself when a query *shape* recurs, so the shape is
+made a first-class object.  :meth:`ProteusEngine.prepare` parses, binds and
+plans a query containing ``?`` positional / ``:name`` named placeholders once
+and returns a :class:`PreparedQuery`; ``pq.execute(7)`` /
+``pq.execute(country="CH")`` binds values and runs without re-parsing,
+re-planning or re-generating code — the plan fingerprint abstracts parameter
+values (``Parameter`` nodes instead of literals), so one compiled program
+serves every binding, on every tier.  :meth:`ProteusEngine.query` remains as
+sugar for ``prepare(text).execute(*args, **params)`` and keeps its v1
+behaviour for literal-only queries.
+
+Results are returned as a lazy columnar :class:`ResultSet`: the executor's
+columnar output *is* the backing store — ``column_array`` hands out NumPy
+buffers with no rows round-trip, ``rows``/iteration materialize Python tuples
+only on first access, and ``fetch_batches`` streams the result in bounded
+chunks.  :data:`QueryResult` remains as a deprecated alias.
 
 Parallelism tuning: ``parallel_workers`` defaults to 1 (serial).  Set it to
 the number of physical cores for scan-heavy workloads; morsels are 64Ki rows
 by default, so inputs of ~128Ki rows or more actually fan out, and smaller
 inputs transparently stay on the serial tier where they are faster anyway.
-Hardware parallelism is strongest where the per-morsel work runs in
-GIL-releasing NumPy kernels — binary-column and cache-served scans, the
-predicate/join/grouping kernels — while CSV/JSON value conversion is
-Python-bound and gains mainly from the partial per-morsel aggregation (which
-also helps on a single core by replacing one monolithic grouping sort with
-cheaper per-morsel ones).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+import warnings
+from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -66,13 +79,37 @@ from repro.core.calculus import Comprehension
 from repro.core.codegen.generator import CodeGenerator
 from repro.core.codegen.runtime import ExecutionProfile, QueryRuntime
 from repro.core.comprehension_parser import parse_comprehension
-from repro.core.executor.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
+from repro.core.executor.vectorized import (
+    DEFAULT_BATCH_SIZE,
+    VectorizedExecutor,
+    collect_nest_aggregates,
+)
 from repro.core.executor.volcano import VolcanoExecutor
-from repro.core.parallel import ParallelVectorizedExecutor
+from repro.core.expressions import (
+    AggregateCall,
+    BinaryOp,
+    Expression,
+    FieldRef,
+    IfThenElse,
+    Literal,
+    Parameter,
+    RecordConstruct,
+    UnaryOp,
+    parameter_env,
+    to_string,
+)
+from repro.core.parallel import ParallelVectorizedExecutor, precheck_driving_scan
 from repro.core.normalizer import normalize
 from repro.core.optimizer.planner import Planner
 from repro.core.optimizer.statistics import StatisticsManager
-from repro.core.physical import PhysNest, PhysReduce, PhysicalPlan
+from repro.core.physical import (
+    PhysHashJoin,
+    PhysNest,
+    PhysNestedLoopJoin,
+    PhysReduce,
+    PhysUnnest,
+    PhysicalPlan,
+)
 from repro.core.sql_parser import parse_sql
 from repro.core.translator import translate
 from repro.errors import (
@@ -91,48 +128,297 @@ from repro.plugins.json_plugin import JsonPlugin
 from repro.storage.catalog import Catalog, DataFormat, Dataset
 from repro.storage.memory import MemoryManager
 
+#: Parameter-value environment: positional keys are 0-based ints, named keys
+#: are strings.
+ParamValues = Mapping[int | str, object]
 
-@dataclass
-class QueryResult:
-    """The result of a query: named columns and materialized rows."""
 
-    columns: list[str]
-    rows: list[tuple]
-    execution_seconds: float = 0.0
-    used_codegen: bool = True
-    #: Which execution tier served the query: "codegen",
-    #: "vectorized-parallel", "vectorized" or "volcano".
-    tier: str = "codegen"
-    profile: ExecutionProfile | None = None
+class ResultSet:
+    """The lazy, columnar result of a query.
 
-    def __len__(self) -> int:
-        return len(self.rows)
+    The executor's columnar output is kept as the backing store:
 
-    def __iter__(self):
-        return iter(self.rows)
+    * :meth:`column_array` returns the NumPy buffer of one output column with
+      no rows round-trip (the float encoding of missing values — NaN — is
+      preserved, exactly as the executor produced it),
+    * :attr:`rows` / iteration / :meth:`to_dicts` materialize Python row
+      tuples lazily, on first access (missing values surface as ``None``),
+    * :meth:`fetch_batches` streams the result as bounded chunks of rows
+      without ever materializing the full tuple list.
 
-    def column(self, name: str) -> list:
-        """Values of one output column."""
+    ``ORDER BY`` and ``LIMIT`` have already been applied — in columnar space —
+    by the engine before the :class:`ResultSet` is constructed.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        data: Mapping[str, Any] | None = None,
+        *,
+        length: int | None = None,
+        execution_seconds: float = 0.0,
+        tier: str | None = None,
+        profile: ExecutionProfile | None = None,
+        rows: Sequence[tuple] | None = None,
+        used_codegen: bool | None = None,  # accepted for v1 compatibility
+    ):
+        self.columns = list(columns)
+        self.execution_seconds = execution_seconds
+        if tier is None:
+            # v1-style construction: honor an explicit used_codegen flag so
+            # the deprecated property reads back what the caller stated.
+            tier = "codegen" if used_codegen is None or used_codegen else "volcano"
+        #: Which execution tier served the query: "codegen",
+        #: "vectorized-parallel", "vectorized" or "volcano".
+        self.tier = tier
+        self.profile = profile
+        self._rows: list[tuple] | None = None
+        self._pylists: dict[str, list] = {}
+        if data is None:
+            # v1-style construction from materialized rows.
+            if rows is None:
+                raise ExecutionError(
+                    "ResultSet requires columnar data (or, for compatibility, rows)"
+                )
+            self._rows = [tuple(row) for row in rows]
+            data = {
+                name: [row[index] for row in self._rows]
+                for index, name in enumerate(self.columns)
+            }
+            length = len(self._rows)
+        self._data = dict(data)
+        if length is None:
+            length = len(next(iter(self._data.values()))) if self._data else 0
+        self._length = int(length)
+
+    # -- deprecated v1 surface ----------------------------------------------
+
+    @property
+    def used_codegen(self) -> bool:
+        """Deprecated: use ``.tier == "codegen"`` (or inspect ``.tier``
+        directly — it also distinguishes the two batch tiers)."""
+        warnings.warn(
+            "QueryResult.used_codegen is deprecated; use result.tier "
+            "(== 'codegen') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.tier == "codegen"
+
+    # -- columnar access ----------------------------------------------------
+
+    def _buffer(self, name: str):
         try:
-            index = self.columns.index(name)
-        except ValueError as exc:
+            return self._data[name]
+        except KeyError as exc:
             raise ExecutionError(
                 f"result has no column {name!r}; columns: {self.columns}"
             ) from exc
-        return [row[index] for row in self.rows]
+
+    def column_array(self, name: str) -> np.ndarray:
+        """The executor's columnar buffer for one output column.
+
+        No row tuples are materialized; float columns keep NaN as their
+        missing-value encoding (see :func:`repro.core.types.is_missing`).
+        The array is a read-only view: on the codegen tier the buffer may
+        alias the engine's adaptive cache, so mutating it would corrupt the
+        results of later queries — call ``.copy()`` for a writable array."""
+        view = np.asarray(self._buffer(name)).view()
+        view.flags.writeable = False
+        return view
+
+    def column(self, name: str) -> list:
+        """Python values of one output column (missing values as ``None``)."""
+        return list(self._python_column(name))
+
+    def _python_column(self, name: str) -> list:
+        cached = self._pylists.get(name)
+        if cached is None:
+            cached = _python_values(self._buffer(name))
+            self._pylists[name] = cached
+        return cached
+
+    # -- row access (lazy) ---------------------------------------------------
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The result as Python row tuples, materialized on first access."""
+        if self._rows is None:
+            if not self.columns:
+                self._rows = []
+            else:
+                lists = [self._python_column(name) for name in self.columns]
+                self._rows = list(zip(*lists))
+        return self._rows
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def fetch_batches(self, size: int) -> Iterator[list[tuple]]:
+        """Yield the result as consecutive chunks of at most ``size`` rows.
+
+        Each chunk is converted from the columnar store independently, so
+        consuming a prefix of a large result never materializes the rest.
+        """
+        if size <= 0:
+            raise ExecutionError(f"fetch_batches size must be positive, got {size}")
+        if self._rows is not None:
+            for start in range(0, len(self._rows), size):
+                yield self._rows[start : start + size]
+            return
+        for start in range(0, self._length, size):
+            stop = min(start + size, self._length)
+            lists = [
+                _python_values(self._buffer(name)[start:stop])
+                for name in self.columns
+            ]
+            yield list(zip(*lists)) if lists else []
 
     def scalar(self) -> Any:
         """The single value of a one-row, one-column result."""
-        if len(self.rows) != 1 or len(self.columns) != 1:
+        if self._length != 1 or len(self.columns) != 1:
             raise ExecutionError(
-                f"scalar() requires a 1x1 result, got {len(self.rows)} rows x "
+                f"scalar() requires a 1x1 result, got {self._length} rows x "
                 f"{len(self.columns)} columns"
             )
-        return self.rows[0][0]
+        return self._python_column(self.columns[0])[0]
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """The result as a list of dicts (one per row)."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+#: Deprecated alias of :class:`ResultSet` (the v1 result class name).
+QueryResult = ResultSet
+
+
+class PreparedQuery:
+    """A query shape prepared once and executable many times.
+
+    Holds the bound comprehension, the logical plan and the physical plan of
+    one query text; ``?`` / ``:name`` placeholders stay abstract
+    :class:`~repro.core.expressions.Parameter` nodes, so the physical plan's
+    fingerprint — and therefore the engine's compiled-program cache key — is
+    shared by every execution regardless of the bound constants.
+
+    :meth:`execute` binds values and runs the cascade directly: no parsing,
+    no binding and no code generation happen on the hot path.  The first
+    execution with bound values re-runs the *optimizer* once with those
+    constants feeding selectivity estimation (join order / build side), then
+    the plan is frozen; the compiled-program cache is keyed by plan
+    fingerprint, so re-optimization never invalidates compiled artifacts.
+
+    Re-registering (or dropping) datasets invalidates outstanding prepared
+    queries: the engine's catalog epoch is checked on every execution and the
+    query transparently re-prepares itself against the current catalog — it
+    can never serve stale data through a baked-in ``Dataset`` object.
+    """
+
+    def __init__(
+        self,
+        engine: "ProteusEngine",
+        source: str | Comprehension,
+        comprehension: Comprehension,
+        logical,
+        plan: PhysicalPlan,
+        parameter_keys: Sequence[int | str],
+        epoch: int,
+    ):
+        self._engine = engine
+        self._source = source
+        self.comprehension = comprehension
+        self._logical = logical
+        self._plan: PhysicalPlan | None = plan
+        self.parameter_keys = list(parameter_keys)
+        self._positional = sorted(
+            key for key in self.parameter_keys if isinstance(key, int)
+        )
+        self._named = {key for key in self.parameter_keys if isinstance(key, str)}
+        self._epoch = epoch
+        #: True once the plan has been re-optimized with bound values.
+        self._value_optimized = False
+
+    @property
+    def plan(self) -> PhysicalPlan | None:
+        """The current physical plan (introspection)."""
+        return self._plan
+
+    @property
+    def parameters(self) -> list[int | str]:
+        """Parameter keys in first-appearance order (ints for ``?``,
+        strings for ``:name``)."""
+        return list(self.parameter_keys)
+
+    def execute(self, *args, **named) -> ResultSet:
+        """Bind parameter values and execute.
+
+        Positional values fill ``?`` placeholders in order; keyword values
+        fill ``:name`` placeholders.  Every declared parameter must receive
+        exactly one value."""
+        return self._engine._execute_prepared(self, self._bind(args, named))
+
+    def executemany(self, parameter_sets) -> list[ResultSet]:
+        """Execute once per entry of ``parameter_sets``.
+
+        Each entry is a tuple/list (positional), a mapping (named) or a bare
+        scalar (single positional parameter); returns one :class:`ResultSet`
+        per entry, in order.  All executions share the same compiled program.
+        """
+        results: list[ResultSet] = []
+        for entry in parameter_sets:
+            if isinstance(entry, Mapping):
+                results.append(
+                    self._engine._execute_prepared(self, self._bind_mapping(entry))
+                )
+            elif isinstance(entry, (tuple, list)):
+                results.append(self.execute(*entry))
+            else:
+                results.append(self.execute(entry))
+        return results
+
+    def _bind(self, args: tuple, named: Mapping[str, object]) -> dict:
+        if len(args) > len(self._positional):
+            raise ProteusError(
+                f"query declares {len(self._positional)} positional "
+                f"parameter(s), got {len(args)} value(s)"
+            )
+        params: dict[int | str, object] = dict(enumerate(args))
+        for name, value in named.items():
+            if name not in self._named:
+                declared = sorted(self._named) or ["<none>"]
+                raise ProteusError(
+                    f"unknown named parameter :{name}; declared named "
+                    f"parameters: {declared}"
+                )
+            params[name] = value
+        self._check_complete(params)
+        return params
+
+    def _bind_mapping(self, mapping: Mapping) -> dict:
+        """Bind a raw key→value mapping (int keys positional, str keys named)."""
+        declared = set(self.parameter_keys)
+        params: dict[int | str, object] = {}
+        for key, value in mapping.items():
+            if key not in declared:
+                display = f"?{key}" if isinstance(key, int) else f":{key}"
+                raise ProteusError(
+                    f"unknown parameter {display}; declared parameters: "
+                    f"{self.parameter_keys}"
+                )
+            params[key] = value
+        self._check_complete(params)
+        return params
+
+    def _check_complete(self, params: Mapping) -> None:
+        missing = [key for key in self.parameter_keys if key not in params]
+        if missing:
+            display = ", ".join(
+                f"?{key}" if isinstance(key, int) else f":{key}" for key in missing
+            )
+            raise ProteusError(f"missing value(s) for parameter(s) {display}")
 
 
 class ProteusEngine:
@@ -190,6 +476,14 @@ class ProteusEngine:
         self.generator = CodeGenerator(self.catalog, self.plugins, self.cache_plugin)
         self._compiled: dict[tuple, Any] = {}
         self._parsed: dict[str, Comprehension] = {}
+        #: Prepared-query cache backing the ``query()`` sugar (keyed by the
+        #: stripped query text); outstanding entries survive catalog changes
+        #: because every execution re-validates against ``_catalog_epoch``.
+        self._prepared_cache: dict[str, PreparedQuery] = {}
+        #: Monotonic counter bumped on every catalog mutation (register,
+        #: re-register, unregister, analyze).  PreparedQuery executions
+        #: compare against it and transparently re-prepare on mismatch.
+        self._catalog_epoch = 0
         #: Introspection of the most recent query.
         self.last_plan: PhysicalPlan | None = None
         self.last_generated_source: str | None = None
@@ -269,6 +563,12 @@ class ProteusEngine:
         if analyze:
             self.analyze(name)
         self._parsed.clear()
+        self._prepared_cache.clear()
+        # Any catalog change invalidates outstanding PreparedQuery objects
+        # (their plans may bake stale Dataset objects or, for a brand-new
+        # name, resolve unqualified columns differently); they transparently
+        # re-prepare on their next execution.
+        self._catalog_epoch += 1
         return dataset
 
     def unregister(self, name: str) -> None:
@@ -284,42 +584,106 @@ class ProteusEngine:
         self.catalog.unregister(name)
         self._compiled.clear()
         self._parsed.clear()
+        self._prepared_cache.clear()
+        self._catalog_epoch += 1
 
     def analyze(self, name: str) -> None:
         """Collect statistics for a dataset (cardinality, min/max per field)."""
         dataset = self.catalog.get(name)
         plugin = self.plugins[dataset.format]
         self.catalog.set_statistics(name, plugin.collect_statistics(dataset))
+        # Fresh statistics can change join orders; let prepared plans refresh.
+        self._catalog_epoch += 1
 
     # ------------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------------
 
-    def query(self, text: str | Comprehension) -> QueryResult:
-        """Parse, optimize, specialize and execute a query."""
-        comprehension = self._to_comprehension(text)
-        physical = self._plan(comprehension)
-        return self._execute(physical, comprehension)
+    def prepare(self, text: str | Comprehension) -> PreparedQuery:
+        """Parse, bind and plan a query once, returning a reusable
+        :class:`PreparedQuery`.
 
-    def sql(self, text: str) -> QueryResult:
+        ``?`` (positional) and ``:name`` (named) placeholders may appear
+        anywhere a scalar expression is allowed, in both SQL and the
+        comprehension syntax.  Execution binds values without re-parsing or
+        re-generating code; on a repeated shape the whole frontend cost —
+        parse, bind, normalize, translate, plan, codegen — is paid once.
+        """
+        comprehension = self._to_comprehension(text)
+        logical = translate(comprehension)
+        physical = self._plan_logical(logical)
+        self.last_plan = physical
+        return PreparedQuery(
+            self,
+            text,
+            comprehension,
+            logical,
+            physical,
+            comprehension.parameters(),
+            self._catalog_epoch,
+        )
+
+    def query(self, text: str | Comprehension, *args, **params) -> ResultSet:
+        """Execute a query: sugar for ``prepare(text).execute(*args, **params)``.
+
+        Prepared queries are cached per query text, so repeated ``query()``
+        calls with the same text (and varying parameter values) reuse one
+        plan and one compiled program.
+        """
+        return self._prepare_cached(text).execute(*args, **params)
+
+    def sql(self, text: str, *args, **params) -> ResultSet:
         """Execute a SQL statement."""
-        return self.query(text)
+        return self.query(text, *args, **params)
 
     def explain(self, text: str | Comprehension) -> str:
-        """Return the physical plan (and generated code, if any) of a query."""
+        """The physical plan, generated code and tier-cascade decision of a
+        query, without executing it."""
         comprehension = self._to_comprehension(text)
         physical = self._plan(comprehension)
         parts = ["== physical plan ==", physical.pretty()]
-        if self.enable_codegen:
+        codegen_reason: str | None = None
+        generated = None
+        if not self.enable_codegen:
+            codegen_reason = "disabled (enable_codegen=False)"
+        else:
             try:
                 generated = self.generator.generate(physical)
-                parts.extend(["", "== generated code ==", generated.source])
             except CodegenError as exc:
-                parts.extend(["", f"(code generation unavailable: {exc}; "
-                                  "Volcano interpreter would be used)"])
+                codegen_reason = str(exc)
+        if generated is not None:
+            parts.extend(["", "== generated code ==", generated.source])
+        elif self.enable_codegen:
+            parts.extend(["", f"(code generation unavailable: {codegen_reason}; "
+                              "a fallback tier would serve the query, see the "
+                              "tier cascade below)"])
+        parts.extend(["", "== tier cascade =="])
+        selected = False
+        for tier, reason in self._tier_cascade(physical, codegen_reason):
+            if reason is None and not selected:
+                parts.append(f"{tier}: serves this plan  <- selected")
+                selected = True
+            elif reason is None:
+                parts.append(f"{tier}: would serve if the tiers above declined")
+            else:
+                parts.append(f"{tier}: declines -- {reason}")
+        parts.append(
+            "(note: run-time data conditions, e.g. null join or group keys, "
+            "can still demote a batch tier to volcano during execution)"
+        )
         return "\n".join(parts)
 
     # -- pipeline stages -------------------------------------------------------
+
+    def _prepare_cached(self, text: str | Comprehension) -> PreparedQuery:
+        if isinstance(text, Comprehension):
+            return self.prepare(text)
+        key = text.strip()
+        prepared = self._prepared_cache.get(key)
+        if prepared is None:
+            prepared = self.prepare(text)
+            self._prepared_cache[key] = prepared
+        return prepared
 
     def _to_comprehension(self, text: str | Comprehension) -> Comprehension:
         if isinstance(text, Comprehension):
@@ -342,21 +706,57 @@ class ProteusEngine:
             return bound
         return normalize(bind_comprehension(comprehension, self.catalog.element_types()))
 
-    def _plan(self, comprehension: Comprehension) -> PhysicalPlan:
-        logical = translate(comprehension)
-        physical = self.planner.plan(logical)
+    def _plan_logical(
+        self, logical, parameters: ParamValues | None = None
+    ) -> PhysicalPlan:
+        physical = self.planner.plan(logical, parameters=parameters)
         _validate_output_columns(physical)
+        return physical
+
+    def _plan(
+        self, comprehension: Comprehension, parameters: ParamValues | None = None
+    ) -> PhysicalPlan:
+        physical = self._plan_logical(translate(comprehension), parameters)
         self.last_plan = physical
         return physical
 
+    def _execute_prepared(
+        self, prepared: PreparedQuery, params: dict
+    ) -> ResultSet:
+        if prepared._epoch != self._catalog_epoch:
+            # The catalog changed since preparation: transparently re-prepare
+            # against the current datasets (or fail the way a fresh query
+            # would, e.g. when the dataset was dropped).
+            prepared.comprehension = self._to_comprehension(prepared._source)
+            prepared._logical = translate(prepared.comprehension)
+            prepared._plan = None
+            prepared._value_optimized = False
+            prepared._epoch = self._catalog_epoch
+        if prepared._plan is None or (params and not prepared._value_optimized):
+            # First (parameterized) execution: run the optimizer with the
+            # bound values feeding selectivity estimation, then freeze the
+            # plan.  The compiled-program cache is keyed by the plan's
+            # parameter-abstracted fingerprint, so re-optimization can only
+            # reuse or add compiled artifacts, never invalidate them.
+            prepared._plan = self._plan_logical(
+                prepared._logical, parameters=params or None
+            )
+            if params:
+                prepared._value_optimized = True
+        self.last_plan = prepared._plan
+        return self._execute(prepared._plan, prepared.comprehension, params or None)
+
     def _execute(
-        self, physical: PhysicalPlan, comprehension: Comprehension
-    ) -> QueryResult:
+        self,
+        physical: PhysicalPlan,
+        comprehension: Comprehension,
+        params: ParamValues | None = None,
+    ) -> ResultSet:
         started = time.perf_counter()
         executed: tuple[list[str], dict[str, Any], ExecutionProfile] | None = None
         if self.enable_codegen:
             try:
-                executed = self._execute_generated(physical)
+                executed = self._execute_generated(physical, params)
             except (CodegenError, VectorizationError):
                 # CodegenError: the generator does not cover the plan shape.
                 # VectorizationError: the columnar kernels rejected the data
@@ -372,7 +772,7 @@ class ProteusEngine:
             and self.parallel_workers > 1
         ):
             try:
-                executed = self._execute_parallel(physical)
+                executed = self._execute_parallel(physical, params)
             except VectorizationError:
                 # The plan or plugin cannot be split into morsels (or the
                 # input fits a single morsel); the serial vectorized tier
@@ -380,43 +780,62 @@ class ProteusEngine:
                 executed = None
         if executed is None and self.enable_vectorized:
             try:
-                executed = self._execute_vectorized(physical)
+                executed = self._execute_vectorized(physical, params)
             except VectorizationError:
                 executed = None
         if executed is None:
-            executed = self._execute_volcano(physical)
+            executed = self._execute_volcano(physical, params)
         names, columns, profile = executed
-        rows = _columns_to_rows(names, columns)
-        rows = _apply_order_and_limit(names, rows, comprehension)
+        length, data = _normalize_result_columns(names, columns)
+        limit = comprehension.limit
+        if isinstance(limit, Parameter):
+            value = limit.evaluate(parameter_env(params))
+            if isinstance(value, np.integer):
+                value = int(value)
+            elif isinstance(value, float) and value.is_integer():
+                value = int(value)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProteusError(
+                    f"LIMIT parameter {limit.display} must be an integer, "
+                    f"got {value!r}"
+                )
+            limit = max(value, 0)
+        length, data = _apply_order_and_limit_columns(
+            names, length, data, comprehension.order_by, limit
+        )
         elapsed = time.perf_counter() - started
         self.last_profile = profile
-        return QueryResult(
+        return ResultSet(
             columns=names,
-            rows=rows,
+            data=data,
+            length=length,
             execution_seconds=elapsed,
-            used_codegen=profile.execution_tier == "codegen",
             tier=profile.execution_tier,
             profile=profile,
         )
 
     def _execute_generated(
-        self, physical: PhysicalPlan
+        self, physical: PhysicalPlan, params: ParamValues | None = None
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         fingerprint = physical.fingerprint()
         generated = self._compiled.get(fingerprint)
+        from_cache = generated is not None
         if generated is None:
             generated = self.generator.generate(physical)
             self._compiled[fingerprint] = generated
         self.last_generated_source = generated.source
-        runtime = QueryRuntime(self.catalog, self.plugins, self.cache_manager)
+        runtime = QueryRuntime(
+            self.catalog, self.plugins, self.cache_manager, params=params
+        )
         output = generated(runtime)
         names = _output_names(physical)
         runtime.profile.used_generated_code = True
         runtime.profile.execution_tier = "codegen"
+        runtime.profile.compiled_from_cache = from_cache
         return names, output, runtime.profile
 
     def _execute_parallel(
-        self, physical: PhysicalPlan
+        self, physical: PhysicalPlan, params: ParamValues | None = None
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = ParallelVectorizedExecutor(
             self.catalog,
@@ -424,6 +843,7 @@ class ProteusEngine:
             batch_size=self.vectorized_batch_size,
             num_workers=self.parallel_workers,
             cache_manager=self.cache_manager,
+            params=params,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -437,13 +857,14 @@ class ProteusEngine:
         return names, columns, profile
 
     def _execute_vectorized(
-        self, physical: PhysicalPlan
+        self, physical: PhysicalPlan, params: ParamValues | None = None
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VectorizedExecutor(
             self.catalog,
             self.plugins,
             batch_size=self.vectorized_batch_size,
             cache_manager=self.cache_manager,
+            params=params,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -454,14 +875,54 @@ class ProteusEngine:
         return names, columns, profile
 
     def _execute_volcano(
-        self, physical: PhysicalPlan
+        self, physical: PhysicalPlan, params: ParamValues | None = None
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
-        executor = VolcanoExecutor(self.catalog, self.plugins)
+        executor = VolcanoExecutor(self.catalog, self.plugins, params=params)
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(used_generated_code=False, execution_tier="volcano")
         profile.rows_scanned = executor.tuples_processed
         self.last_generated_source = None
         return names, columns, profile
+
+    # -- tier-cascade introspection (explain) ----------------------------------
+
+    def _tier_cascade(
+        self, physical: PhysicalPlan, codegen_reason: str | None
+    ) -> list[tuple[str, str | None]]:
+        """(tier, decline reason or None) for every tier, in cascade order."""
+        batch_reason = _batch_tier_decline(physical)
+        if not self.enable_vectorized:
+            parallel_reason: str | None = "disabled (enable_vectorized=False)"
+            vectorized_reason: str | None = "disabled (enable_vectorized=False)"
+        else:
+            vectorized_reason = batch_reason
+            if not self.enable_parallel:
+                parallel_reason = "disabled (enable_parallel=False)"
+            elif self.parallel_workers <= 1:
+                parallel_reason = (
+                    "parallel_workers=1 (engine configured serial)"
+                )
+            elif batch_reason is not None:
+                parallel_reason = batch_reason
+            else:
+                try:
+                    precheck_driving_scan(
+                        physical.children()[0] if physical.children() else physical,
+                        self.catalog,
+                        self.plugins,
+                        self.cache_manager,
+                        self.vectorized_batch_size,
+                        self.parallel_workers,
+                    )
+                    parallel_reason = None
+                except VectorizationError as exc:
+                    parallel_reason = str(exc)
+        return [
+            ("codegen", codegen_reason),
+            ("vectorized-parallel", parallel_reason),
+            ("vectorized", vectorized_reason),
+            ("volcano", None),
+        ]
 
     # ------------------------------------------------------------------------
     # Caching control and introspection
@@ -485,6 +946,52 @@ class ProteusEngine:
         if not hasattr(plugin, "index_info"):
             raise ProteusError(f"dataset {name!r} has no structural index")
         return plugin.index_info(dataset)
+
+
+# ---------------------------------------------------------------------------
+# Tier-cascade helpers
+# ---------------------------------------------------------------------------
+
+
+def _batch_supported(expression: Expression) -> bool:
+    """Whether the batch evaluator covers ``expression`` (static mirror of
+    ``evaluate_batch``)."""
+    if isinstance(expression, (Literal, FieldRef, Parameter)):
+        return True
+    if isinstance(expression, (BinaryOp, UnaryOp, IfThenElse)):
+        return all(_batch_supported(child) for child in expression.children())
+    if isinstance(expression, AggregateCall):
+        return expression.argument is None or _batch_supported(expression.argument)
+    if isinstance(expression, RecordConstruct):
+        return False
+    return False
+
+
+def _batch_tier_decline(physical: PhysicalPlan) -> str | None:
+    """Why the batch tiers would reject this plan (``None`` when they serve
+    it) — the static prediction matching the executors' own checks."""
+    for node in physical.walk():
+        if isinstance(node, (PhysHashJoin, PhysNestedLoopJoin)) and node.outer:
+            return "outer join is served by the Volcano interpreter"
+        if isinstance(node, PhysUnnest) and node.outer:
+            return "outer unnest is served by the Volcano interpreter"
+    if isinstance(physical, PhysNest):
+        try:
+            collect_nest_aggregates(physical)
+        except VectorizationError as exc:
+            return str(exc)
+    elif not isinstance(physical, PhysReduce):
+        return f"plan root {physical.describe()} is served by the Volcano interpreter"
+    from repro.core.physical import expressions_of
+
+    for node in physical.walk():
+        for expression in expressions_of(node):
+            if not _batch_supported(expression):
+                return (
+                    f"expression {to_string(expression)} is served by the "
+                    "Volcano interpreter"
+                )
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -529,17 +1036,24 @@ def _validate_output_columns(physical: PhysicalPlan) -> None:
         seen[column.name] = fingerprint
 
 
-def _columns_to_rows(names: Sequence[str], columns: Mapping[str, Any]) -> list[tuple]:
-    """Assemble named output columns into result rows.
+def _normalize_result_columns(
+    names: Sequence[str], columns: Mapping[str, Any]
+) -> tuple[int, dict[str, Any]]:
+    """Validate executor output columns and broadcast genuine scalars.
 
-    Only genuine scalars (aggregate results, literals: plain Python scalars,
-    NumPy scalars and 0-d arrays) are broadcast to the row count; a missing
-    output column or multi-row columns of differing lengths indicate an
-    executor shape bug and raise instead of being papered over.
+    Returns ``(row count, name -> columnar buffer)`` with every buffer sized
+    to the row count; the buffers stay columnar (NumPy arrays pass through
+    untouched) — this is the backing store of a :class:`ResultSet`.  Only
+    genuine scalars (aggregate results, literals: plain Python scalars, NumPy
+    scalars and 0-d arrays) are broadcast; a missing output column or
+    multi-row columns of differing lengths indicate an executor shape bug and
+    raise instead of being papered over.
     """
-    values: list[list] = []
-    scalars: list[bool] = []
+    buffers: dict[str, Any] = {}
+    scalars: dict[str, bool] = {}
     for name in names:
+        if name in buffers:
+            continue  # duplicate output name over the same expression
         if name not in columns:
             raise ExecutionError(
                 f"executor produced no output column {name!r}; "
@@ -548,59 +1062,115 @@ def _columns_to_rows(names: Sequence[str], columns: Mapping[str, Any]) -> list[t
         column = columns[name]
         scalar = False
         if isinstance(column, np.ndarray) and column.ndim == 0:
-            column = [column.item()]
+            column = column.item()
             scalar = True
-        elif isinstance(column, np.ndarray):
-            column = column.tolist()
         elif isinstance(column, np.generic):
-            column = [column.item()]
+            column = column.item()
             scalar = True
         elif isinstance(column, (int, float, bool, str)) or column is None:
-            column = [column]
             scalar = True
-        values.append(list(column))
-        scalars.append(scalar)
-    row_lengths = {len(column) for column, scalar in zip(values, scalars) if not scalar}
+        elif not isinstance(column, np.ndarray):
+            column = list(column)
+        buffers[name] = column
+        scalars[name] = scalar
+    row_lengths = {
+        len(buffers[name]) for name in buffers if not scalars[name]
+    }
     if len(row_lengths) > 1:
         shapes = ", ".join(
-            f"{name}={len(column)}"
-            for name, column, scalar in zip(names, values, scalars)
-            if not scalar
+            f"{name}={len(buffers[name])}"
+            for name in buffers
+            if not scalars[name]
         )
         raise ExecutionError(f"output columns have mismatched lengths: {shapes}")
     length = row_lengths.pop() if row_lengths else (1 if names else 0)
-    normalized = []
-    for column, scalar in zip(values, scalars):
-        if scalar and length != 1:
-            column = column * length
-        normalized.append(column)
-    rows = [tuple(_output_value(column[i]) for column in normalized) for i in range(length)]
-    return rows
+    for name, scalar in scalars.items():
+        if scalar:
+            buffers[name] = [buffers[name]] * length
+    return length, buffers
+
+
+def _columns_to_rows(names: Sequence[str], columns: Mapping[str, Any]) -> list[tuple]:
+    """Assemble named output columns into result rows (eager v1 helper; the
+    engine itself now keeps results columnar inside :class:`ResultSet`)."""
+    length, buffers = _normalize_result_columns(names, columns)
+    if not names:
+        return []
+    lists = [_python_values(buffers[name]) for name in names]
+    return list(zip(*lists))
+
+
+def _python_values(buffer) -> list:
+    """One columnar buffer as a list of normalized Python values: NumPy
+    scalars unboxed and missing values (None, or NaN in float buffers — see
+    ``types.is_missing``) surfaced as ``None``."""
+    values = buffer.tolist() if isinstance(buffer, np.ndarray) else list(buffer)
+    return [_output_value(value) for value in values]
 
 
 def _output_value(value: Any) -> Any:
-    """Normalize one result cell: unbox NumPy scalars and surface missing
-    values as ``None`` — NaN is only the float *buffers'* encoding of missing
-    (see ``types.is_missing``); result rows use ``None`` in every tier."""
     value = _python_value(value)
     return None if t.is_missing(value) else value
 
 
-def _apply_order_and_limit(
-    names: Sequence[str], rows: list[tuple], comprehension: Comprehension
-) -> list[tuple]:
-    if comprehension.order_by:
-        for column, ascending in reversed(comprehension.order_by):
+class _DescendingKey:
+    """Inverts comparison for descending sort keys while keeping NULLS LAST
+    handling in the enclosing ``(is None, key)`` tuple."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+
+def _apply_order_and_limit_columns(
+    names: Sequence[str],
+    length: int,
+    data: dict[str, Any],
+    order_by: Sequence[tuple[str, bool]],
+    limit: int | None,
+) -> tuple[int, dict[str, Any]]:
+    """Apply ORDER BY / LIMIT in columnar space.
+
+    Sorting computes one permutation over the sort-key columns and gathers
+    every buffer through it — rows are never materialized.  Missing values
+    sort NULLS LAST in *both* directions (a descending sort must not float
+    them to the front)."""
+    if order_by:
+        names = list(names)
+        for column, _ in order_by:
             if column not in names:
                 raise ExecutionError(
                     f"ORDER BY column {column!r} is not part of the result "
-                    f"projection; output columns: {list(names)}"
+                    f"projection; output columns: {names}"
                 )
-            index = list(names).index(column)
-            rows = sorted(rows, key=lambda row: (row[index] is None, row[index]),
-                          reverse=not ascending)
-    if comprehension.limit is not None:
-        rows = rows[: comprehension.limit]
-    return rows
+        indices = list(range(length))
+        for column, ascending in reversed(order_by):
+            values = _python_values(data[column])
+            if ascending:
+                indices.sort(key=lambda i: (values[i] is None, values[i]))
+            else:
+                indices.sort(
+                    key=lambda i: (values[i] is None, _DescendingKey(values[i]))
+                )
+        if limit is not None:
+            indices = indices[:limit]
+        data = {name: _take(buffer, indices) for name, buffer in data.items()}
+        return len(indices), data
+    if limit is not None and limit < length:
+        data = {name: buffer[:limit] for name, buffer in data.items()}
+        return limit, data
+    return length, data
 
 
+def _take(buffer, indices: list[int]):
+    """Gather a columnar buffer by a permutation (array or list backed)."""
+    if isinstance(buffer, np.ndarray):
+        return buffer[np.asarray(indices, dtype=np.int64)]
+    return [buffer[i] for i in indices]

@@ -73,9 +73,11 @@ from repro.core.expressions import (
     FieldRef,
     IfThenElse,
     Literal,
+    Parameter,
     UnaryOp,
     contains_aggregate,
     iter_aggregates,
+    parameter_env,
 )
 from repro.core.physical import (
     PhysHashJoin,
@@ -110,10 +112,13 @@ class Batch:
     columns: dict[ColumnKey, np.ndarray] = field(default_factory=dict)
     #: Per-binding global row positions (for lazy access and unnesting).
     oids: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Bound query-parameter values (``Parameter`` nodes evaluate against
+    #: this); shared by every batch of one execution, never copied.
+    params: Mapping[int | str, object] | None = None
 
     def take(self, selector: np.ndarray) -> "Batch":
         """Gather rows by boolean mask or integer positions."""
-        taken = Batch(count=0)
+        taken = Batch(count=0, params=self.params)
         for key, column in self.columns.items():
             taken.columns[key] = column[selector]
         for binding, oids in self.oids.items():
@@ -160,6 +165,13 @@ def evaluate_batch(expression: Expression, batch: Batch) -> Any:
     """Evaluate an expression over a batch; returns a column or a scalar."""
     if isinstance(expression, Literal):
         return expression.value
+    if isinstance(expression, Parameter):
+        params = batch.params
+        if params is None or expression.key not in params:
+            raise ExecutionError(
+                f"query parameter {expression.display} is not bound"
+            )
+        return params[expression.key]
     if isinstance(expression, FieldRef):
         key = (expression.binding, tuple(expression.path))
         column = batch.columns.get(key)
@@ -226,7 +238,10 @@ def _gather_joined(
     left: Batch, right: Batch, left_positions: np.ndarray, right_positions: np.ndarray
 ) -> Batch:
     """Assemble a join output batch by gathering both sides."""
-    joined = Batch(count=len(left_positions))
+    joined = Batch(
+        count=len(left_positions),
+        params=right.params if right.params is not None else left.params,
+    )
     for key, column in left.columns.items():
         joined.columns[key] = column[left_positions]
     for binding, oids in left.oids.items():
@@ -244,7 +259,9 @@ def concat_batches(batches: list[Batch]) -> Batch:
         return Batch(count=0)
     if len(batches) == 1:
         return batches[0]
-    merged = Batch(count=sum(batch.count for batch in batches))
+    merged = Batch(
+        count=sum(batch.count for batch in batches), params=batches[0].params
+    )
     for key in batches[0].columns:
         merged.columns[key] = np.concatenate(
             [batch.columns[key] for batch in batches]
@@ -315,12 +332,14 @@ class ScanOperator:
         dataset: Dataset,
         plugin: InputPlugin,
         cache_manager=None,
+        params: Mapping[int | str, object] | None = None,
     ):
         self.plan = plan
         self.binding = plan.binding
         self.dataset = dataset
         self.plugin = plugin
         self.cache_manager = cache_manager
+        self.params = params
         self.paths = [tuple(path) for path in plan.paths]
         self._cached: dict[FieldPath, np.ndarray] = {}
         if cache_manager is not None and plugin.format_name != "cache":
@@ -393,7 +412,7 @@ class ScanOperator:
     ) -> Iterator[Batch]:
         for begin in range(start, stop, batch_size):
             end = min(begin + batch_size, stop)
-            batch = Batch(count=end - begin)
+            batch = Batch(count=end - begin, params=self.params)
             batch.oids[self.binding] = np.arange(begin, end, dtype=np.int64)
             for path, full in self._cached.items():
                 batch.columns[(self.binding, path)] = full[begin:end]
@@ -404,7 +423,7 @@ class ScanOperator:
     def _to_batch(self, buffers, counters: PipelineCounters) -> Batch | None:
         if buffers.count == 0:
             return None
-        batch = Batch(count=buffers.count)
+        batch = Batch(count=buffers.count, params=self.params)
         oids = np.asarray(buffers.oids, dtype=np.int64)
         batch.oids[self.binding] = oids
         start = int(oids[0]) if len(oids) else 0
@@ -647,6 +666,7 @@ class PipelineCompiler:
         counters: PipelineCounters | None = None,
         materializer: Callable[[CompiledPipeline, "PipelineCompiler"], Batch] | None = None,
         table_builder: Callable[[np.ndarray], radix.RadixTable] | None = None,
+        params: Mapping[int | str, object] | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -655,6 +675,8 @@ class PipelineCompiler:
         self.counters = counters if counters is not None else PipelineCounters()
         self.materializer = materializer or serial_materialize
         self.table_builder = table_builder or radix.build_radix_table
+        #: Bound query-parameter values, attached to every scan batch.
+        self.params = params
         #: Every scan operator created while compiling (driving scan and all
         #: build-side scans) — the executor flushes their cache
         #: materializations after a successful run.
@@ -727,7 +749,9 @@ class PipelineCompiler:
         plugin = self.plugins.get(dataset.format)
         if plugin is None:
             raise ExecutionError(f"no plug-in registered for format {dataset.format!r}")
-        operator = ScanOperator(plan, dataset, plugin, self.cache_manager)
+        operator = ScanOperator(
+            plan, dataset, plugin, self.cache_manager, params=self.params
+        )
         self.scan_operators.append(operator)
         return operator
 
@@ -789,6 +813,7 @@ def finish_nest_columns(
     group_key_fingerprints: dict[tuple, int],
     grouping: radix.GroupingResult,
     aggregate_results: dict[tuple, np.ndarray],
+    params: Mapping[int | str, object] | None = None,
 ) -> dict[str, Any]:
     """Assemble a Nest's output columns from grouped keys and per-group
     aggregate result columns.
@@ -796,9 +821,10 @@ def finish_nest_columns(
     Each aggregate's result column is exposed under a synthetic binding, then
     the heads are finished with the vectorized evaluator — this keeps
     arithmetic/logical combinations of aggregates (e.g. ``max(x) > 5 and
-    min(x) > 0``) on the batch path.
+    min(x) > 0``) on the batch path; ``params`` keeps query parameters in the
+    heads (e.g. ``sum(x) * :rate``) evaluable.
     """
-    group_batch = Batch(count=grouping.num_groups)
+    group_batch = Batch(count=grouping.num_groups, params=params)
     results: dict[tuple, Expression] = {}
     for index, (fingerprint, values) in enumerate(aggregate_results.items()):
         reference = FieldRef(_AGG_BINDING, (f"agg_{index}",))
@@ -832,11 +858,13 @@ class VectorizedExecutor:
         plugins: Mapping[str, InputPlugin],
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_manager=None,
+        params: Mapping[int | str, object] | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
         self.batch_size = max(int(batch_size), 1)
         self.cache_manager = cache_manager
+        self.params = params
         #: Counters mirrored into the engine's :class:`ExecutionProfile`.
         self.counters = PipelineCounters()
 
@@ -864,6 +892,7 @@ class VectorizedExecutor:
             self.batch_size,
             cache_manager=self.cache_manager,
             counters=self.counters,
+            params=self.params,
         )
         return compiler, compiler.compile(child)
 
@@ -908,10 +937,11 @@ class VectorizedExecutor:
             accumulators.update(batch)
         values = accumulators.finalize()
         self.counters.output_rows += 1
+        finish_env = parameter_env(self.params)
         columns = {}
         for column in plan.columns:
             final = replace_aggregates(column.expression, literal_results(values))
-            columns[column.name] = [_python_value(final.evaluate({}))]
+            columns[column.name] = [_python_value(final.evaluate(finish_env))]
         return names, columns, compiler
 
     def _execute_nest(
@@ -964,7 +994,8 @@ class VectorizedExecutor:
                 aggregate.func, grouping.group_ids, grouping.num_groups, values
             )
         columns = finish_nest_columns(
-            plan, group_key_fingerprints, grouping, aggregate_results
+            plan, group_key_fingerprints, grouping, aggregate_results,
+            params=self.params,
         )
         return names, columns, compiler
 

@@ -33,7 +33,7 @@ from repro.core.aggregate_utils import (
     unique_output_columns,
 )
 from repro.core.types import is_missing, truthy
-from repro.core.expressions import contains_aggregate
+from repro.core.expressions import PARAMS_BINDING, contains_aggregate, parameter_env
 from repro.core.physical import (
     PhysHashJoin,
     PhysNest,
@@ -52,9 +52,17 @@ from repro.storage.catalog import Catalog
 class VolcanoExecutor:
     """Interpreted executor over physical plans."""
 
-    def __init__(self, catalog: Catalog, plugins: Mapping[str, InputPlugin]):
+    def __init__(
+        self,
+        catalog: Catalog,
+        plugins: Mapping[str, InputPlugin],
+        params: Mapping[int | str, object] | None = None,
+    ):
         self.catalog = catalog
         self.plugins = plugins
+        #: Bound query-parameter values; placed into every scan environment
+        #: under :data:`PARAMS_BINDING` so ``Parameter`` nodes evaluate.
+        self.params = params
         #: Proxy counters: tuples pulled through operators and predicate
         #: evaluations, used by the experiment reports as interpretation-
         #: overhead proxies.
@@ -99,9 +107,14 @@ class VolcanoExecutor:
         if plugin is None:
             raise ExecutionError(f"no plug-in registered for format {dataset.format!r}")
         # The general-purpose engine eagerly materializes whole records.
-        for record in plugin.iterate_rows(dataset, None):
-            self.tuples_processed += 1
-            yield {plan.binding: record}
+        if self.params:
+            for record in plugin.iterate_rows(dataset, None):
+                self.tuples_processed += 1
+                yield {plan.binding: record, PARAMS_BINDING: self.params}
+        else:
+            for record in plugin.iterate_rows(dataset, None):
+                self.tuples_processed += 1
+                yield {plan.binding: record}
 
     def _iterate_unnest(self, plan: PhysUnnest) -> Iterator[dict[str, Any]]:
         for env in self._iterate(plan.child):
@@ -182,10 +195,11 @@ class VolcanoExecutor:
         for env in self._iterate(plan.child):
             accumulators.update(env)
         values = accumulators.finalize()
+        finish_env = parameter_env(self.params)
         columns = {}
         for column in plan.columns:
             final = replace_aggregates(column.expression, literal_results(values))
-            columns[column.name] = [final.evaluate({})]
+            columns[column.name] = [final.evaluate(finish_env)]
         return names, columns
 
     def _execute_nest(self, plan: PhysNest) -> tuple[list[str], dict[str, list]]:
@@ -199,6 +213,7 @@ class VolcanoExecutor:
                 group_envs[key] = env
             groups[key].update(env)
         unique_columns = unique_output_columns(plan.columns)
+        finish_env = parameter_env(self.params)
         columns: dict[str, list] = {name: [] for name in names}
         for key, accumulators in groups.items():
             values = accumulators.finalize()
@@ -206,7 +221,7 @@ class VolcanoExecutor:
             for column in unique_columns:
                 if contains_aggregate(column.expression):
                     final = replace_aggregates(column.expression, literal_results(values))
-                    columns[column.name].append(final.evaluate({}))
+                    columns[column.name].append(final.evaluate(finish_env))
                 else:
                     columns[column.name].append(column.expression.evaluate(env))
         return names, columns

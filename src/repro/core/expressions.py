@@ -154,6 +154,63 @@ class FieldRef(Expression):
         return FieldRef(self.binding, self.path + (step,))
 
 
+#: Reserved environment key under which bound parameter values travel through
+#: tuple-at-a-time evaluation.  It is not a generator binding: parameters never
+#: appear in ``referenced_fields``/``bindings`` analyses, so scoping validation
+#: and projection pushdown ignore them.
+PARAMS_BINDING = "__params__"
+
+
+def parameter_env(params: Mapping[object, object] | None) -> dict[str, object]:
+    """Wrap a parameter-value mapping as a tuple evaluation environment."""
+    return {} if not params else {PARAMS_BINDING: params}
+
+
+class Parameter(Expression):
+    """A query parameter placeholder: ``?`` (positional) or ``:name`` (named).
+
+    The node survives binding, normalization, translation and planning, so a
+    plan's fingerprint abstracts over the constant (``("param", key)`` instead
+    of a literal value) — one compiled program serves every binding of the
+    parameter.  Evaluation reads the value from the parameter environment the
+    executing tier provides (:data:`PARAMS_BINDING` for the interpreted tiers,
+    ``rt.param`` in generated code, ``Batch.params`` in the batch tiers).
+    """
+
+    def __init__(self, key: int | str):
+        self.key = key
+
+    @property
+    def display(self) -> str:
+        return f"?{self.key}" if isinstance(self.key, int) else f":{self.key}"
+
+    def fingerprint(self) -> tuple:
+        return ("param", self.key)
+
+    def evaluate(self, env: Mapping[str, object]) -> object:
+        params = env.get(PARAMS_BINDING)
+        if params is None or self.key not in params:
+            raise ExecutionError(
+                f"query parameter {self.display} is not bound; execute the "
+                "query through PreparedQuery.execute() with a value for it"
+            )
+        return params[self.key]
+
+    def result_type(self, scope: Mapping[str, t.DataType]) -> t.DataType:
+        raise SchemaError(
+            f"the type of parameter {self.display} is unknown until a value is bound"
+        )
+
+
+def iter_parameters(expression: Expression) -> Iterator["Parameter"]:
+    """Yield every parameter placeholder in the expression tree."""
+    if isinstance(expression, Parameter):
+        yield expression
+        return
+    for child in expression.children():
+        yield from iter_parameters(child)
+
+
 # ---------------------------------------------------------------------------
 # Operators
 # ---------------------------------------------------------------------------
@@ -454,6 +511,8 @@ def to_string(expression: Expression) -> str:
         if not expression.path:
             return expression.binding
         return expression.binding + "." + ".".join(expression.path)
+    if isinstance(expression, Parameter):
+        return expression.display
     if isinstance(expression, BinaryOp):
         return f"({to_string(expression.left)} {expression.op} {to_string(expression.right)})"
     if isinstance(expression, UnaryOp):

@@ -22,6 +22,8 @@ _SYMBOLS = (
     "<>",
     "==",
     ":=",
+    ":",  # named query parameters (":name"); must follow ":=" for longest match
+    "?",  # positional query parameters
     "(",
     ")",
     "{",

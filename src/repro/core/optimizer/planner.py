@@ -67,16 +67,33 @@ class Planner:
 
     # -- entry point -------------------------------------------------------------
 
-    def plan(self, logical: LogicalPlan) -> PhysicalPlan:
-        logical = rules.pushdown_selections(logical)
-        binding_datasets = self.binding_datasets(logical)
-        if self.enable_join_reordering:
-            logical = self._reorder_joins(logical, binding_datasets)
-        required = rules.required_paths(logical)
-        self._unnested_bindings = {
-            node.binding for node in logical.walk() if isinstance(node, Unnest)
-        }
-        return self._convert(logical, required, binding_datasets)
+    def plan(
+        self,
+        logical: LogicalPlan,
+        parameters: Mapping[int | str, object] | None = None,
+    ) -> PhysicalPlan:
+        """Lower ``logical`` to a physical plan.
+
+        ``parameters`` optionally supplies bound query-parameter values: the
+        selectivity formulas then estimate parameterized predicates with the
+        concrete constants (join ordering, build-side choice), while the
+        produced plan still carries the abstract ``Parameter`` nodes — its
+        fingerprint, and therefore the compiled-program cache key, is
+        independent of the values.
+        """
+        self.statistics.parameter_values = parameters
+        try:
+            logical = rules.pushdown_selections(logical)
+            binding_datasets = self.binding_datasets(logical)
+            if self.enable_join_reordering:
+                logical = self._reorder_joins(logical, binding_datasets)
+            required = rules.required_paths(logical)
+            self._unnested_bindings = {
+                node.binding for node in logical.walk() if isinstance(node, Unnest)
+            }
+            return self._convert(logical, required, binding_datasets)
+        finally:
+            self.statistics.parameter_values = None
 
     # -- helpers -------------------------------------------------------------------
 

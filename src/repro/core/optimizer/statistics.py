@@ -19,9 +19,11 @@ from repro.core.expressions import (
     Expression,
     FieldRef,
     Literal,
+    Parameter,
     UnaryOp,
     conjuncts,
 )
+from repro.errors import SchemaError
 from repro.storage.catalog import Catalog, DatasetStatistics
 
 #: Fallbacks used when no statistics are available.
@@ -36,6 +38,13 @@ class StatisticsManager:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
+        #: Bound query-parameter values for the estimation in flight.  Set by
+        #: ``Planner.plan(..., parameters=...)`` so range/equality formulas
+        #: can use the concrete constants of a prepared execution; ``None``
+        #: (or a missing key) falls back to the default selectivities — the
+        #: plan itself never embeds the values, so its fingerprint stays
+        #: parameter-abstracted.
+        self.parameter_values: Mapping[int | str, object] | None = None
 
     # -- dataset level ---------------------------------------------------------
 
@@ -86,7 +95,7 @@ class StatisticsManager:
     def _comparison_selectivity(
         self, predicate: BinaryOp, binding_datasets: Mapping[str, str]
     ) -> float:
-        field, literal, op = _normalize_comparison(predicate)
+        field, literal, op = _normalize_comparison(predicate, self.parameter_values)
         if field is None or literal is None:
             return (
                 DEFAULT_EQUALITY_SELECTIVITY
@@ -154,11 +163,35 @@ class StatisticsManager:
 
 def _normalize_comparison(
     predicate: BinaryOp,
+    parameter_values: Mapping[int | str, object] | None = None,
 ) -> tuple[FieldRef | None, Literal | None, str]:
-    """Orient a comparison as ``field op literal`` when possible."""
+    """Orient a comparison as ``field op literal`` when possible.
+
+    A :class:`Parameter` whose value is bound in ``parameter_values`` counts
+    as a literal of that value, so prepared executions are estimated with the
+    same formulas as literal queries."""
+
+    def as_literal(expression: Expression) -> Literal | None:
+        if isinstance(expression, Literal):
+            return expression
+        if (
+            isinstance(expression, Parameter)
+            and parameter_values is not None
+            and expression.key in parameter_values
+        ):
+            try:
+                return Literal(parameter_values[expression.key])
+            except SchemaError:
+                return None  # untypable value: fall back to defaults
+        return None
+
     flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
-    if isinstance(predicate.left, FieldRef) and isinstance(predicate.right, Literal):
-        return predicate.left, predicate.right, predicate.op
-    if isinstance(predicate.left, Literal) and isinstance(predicate.right, FieldRef):
-        return predicate.right, predicate.left, flipped.get(predicate.op, predicate.op)
+    if isinstance(predicate.left, FieldRef):
+        literal = as_literal(predicate.right)
+        if literal is not None:
+            return predicate.left, literal, predicate.op
+    if isinstance(predicate.right, FieldRef):
+        literal = as_literal(predicate.left)
+        if literal is not None:
+            return predicate.right, literal, flipped.get(predicate.op, predicate.op)
     return None, None, predicate.op

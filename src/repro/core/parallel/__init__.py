@@ -8,7 +8,10 @@ order).  See :mod:`repro.core.parallel.executor` for the execution model and
 :mod:`repro.core.parallel.scheduler` for the scheduling model.
 """
 
-from repro.core.parallel.executor import ParallelVectorizedExecutor
+from repro.core.parallel.executor import (
+    ParallelVectorizedExecutor,
+    precheck_driving_scan,
+)
 from repro.core.parallel.morsels import DEFAULT_MORSEL_ROWS, Morsel, plan_morsels
 from repro.core.parallel.scheduler import WorkerPool, WorkStealingQueue
 
@@ -19,4 +22,5 @@ __all__ = [
     "WorkStealingQueue",
     "WorkerPool",
     "plan_morsels",
+    "precheck_driving_scan",
 ]

@@ -71,7 +71,7 @@ from repro.core.physical import (
     PhysicalPlan,
 )
 from repro.core.types import python_value as _python_value
-from repro.core.expressions import contains_aggregate
+from repro.core.expressions import contains_aggregate, parameter_env
 from repro.errors import ExecutionError, VectorizationError
 from repro.plugins.base import InputPlugin
 from repro.storage.catalog import Catalog
@@ -79,6 +79,69 @@ from repro.storage.catalog import Catalog
 #: Below this many build-side keys a partition-parallel table build costs
 #: more in scheduling than it saves in sorting.
 MIN_PARALLEL_BUILD_KEYS = 8192
+
+
+def precheck_driving_scan(
+    plan: PhysicalPlan,
+    catalog: Catalog,
+    plugins: Mapping[str, InputPlugin],
+    cache_manager,
+    batch_size: int,
+    num_workers: int,
+    morsel_rows: int | None = None,
+) -> None:
+    """Cheaply reject plans whose driving scan cannot fan out.
+
+    Walks to the pipeline's streaming leaf exactly as the compiler will
+    (selects/unnests stream their child, joins stream their probe side) and
+    checks splittability and morsel count without compiling — i.e. without
+    materializing any join build side.  Cache availability is probed with
+    ``peek`` so hit statistics are not disturbed.  Raises
+    :class:`VectorizationError` with the decline reason; also consulted by
+    ``ProteusEngine.explain`` for its tier-cascade report.
+    """
+    node = plan
+    while not isinstance(node, PhysScan):
+        if isinstance(node, (PhysSelect, PhysUnnest)):
+            node = node.child
+        elif isinstance(node, (PhysHashJoin, PhysNestedLoopJoin)):
+            node = node.right
+        else:
+            # An operator the compiler itself will reject; let compile
+            # raise its own, more precise error.
+            return
+    dataset = catalog.get(node.dataset)
+    plugin = plugins.get(dataset.format)
+    if plugin is None:
+        return  # compile raises ExecutionError with the right message
+    total_rows: int | None = None
+    if cache_manager is not None and plugin.format_name != "cache" and node.paths:
+        cached_lengths = []
+        for path in node.paths:
+            entry = cache_manager.peek(field_cache_key(dataset.name, tuple(path)))
+            if entry is None:
+                cached_lengths = None
+                break
+            cached_lengths.append(len(entry.data))
+        if cached_lengths:
+            total_rows = cached_lengths[0]
+    if total_rows is None:
+        if not plugin.supports_scan_ranges:
+            raise VectorizationError(
+                f"scan of {dataset.name!r} ({plugin.format_name}) is not "
+                "range-splittable; served by the serial vectorized tier"
+            )
+        total_rows = plugin.scan_row_count(dataset)
+        if total_rows is None:
+            raise VectorizationError(
+                f"row count of {dataset.name!r} is unknown; served by the "
+                "serial vectorized tier"
+            )
+    morsels = plan_morsels(total_rows, batch_size, num_workers, morsel_rows)
+    if len(morsels) <= 1:
+        raise VectorizationError(
+            "input fits a single morsel; served by the serial vectorized tier"
+        )
 
 
 class ParallelVectorizedExecutor:
@@ -92,6 +155,7 @@ class ParallelVectorizedExecutor:
         num_workers: int = 2,
         cache_manager=None,
         morsel_rows: int | None = None,
+        params: Mapping[int | str, object] | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -99,6 +163,7 @@ class ParallelVectorizedExecutor:
         self.num_workers = max(int(num_workers), 1)
         self.cache_manager = cache_manager
         self.morsel_rows = morsel_rows
+        self.params = params
         #: Counters mirrored into the engine's :class:`ExecutionProfile`.
         self.counters = PipelineCounters()
         self.morsels_dispatched = 0
@@ -110,9 +175,9 @@ class ParallelVectorizedExecutor:
     def execute(self, plan: PhysicalPlan) -> tuple[list[str], dict[str, Any]]:
         """Execute a plan; returns (column names, column values)."""
         if isinstance(plan, PhysReduce):
-            root = _make_reduce_root(plan)
+            root = _make_reduce_root(plan, self.params)
         elif isinstance(plan, PhysNest):
-            root = _NestRoot(plan)
+            root = _NestRoot(plan, self.params)
         else:
             raise ExecutionError(
                 f"the plan root must be Reduce or Nest, got {plan.describe()}"
@@ -129,6 +194,7 @@ class ParallelVectorizedExecutor:
             counters=self.counters,
             materializer=self._materialize,
             table_builder=self._build_table,
+            params=self.params,
         )
         pipeline = compiler.compile(plan.child)
         names, columns = self._run_root(root, pipeline)
@@ -161,58 +227,15 @@ class ParallelVectorizedExecutor:
         return root.merge([partial for partial, _ in results], self.counters)
 
     def _precheck_driving_scan(self, plan: PhysicalPlan) -> None:
-        """Cheaply reject plans whose driving scan cannot fan out.
-
-        Walks to the pipeline's streaming leaf exactly as the compiler will
-        (selects/unnests stream their child, joins stream their probe side)
-        and checks splittability and morsel count without compiling — i.e.
-        without materializing any join build side.  Cache availability is
-        probed with ``peek`` so hit statistics are not disturbed.
-        """
-        node = plan
-        while not isinstance(node, PhysScan):
-            if isinstance(node, (PhysSelect, PhysUnnest)):
-                node = node.child
-            elif isinstance(node, (PhysHashJoin, PhysNestedLoopJoin)):
-                node = node.right
-            else:
-                # An operator the compiler itself will reject; let compile
-                # raise its own, more precise error.
-                return
-        dataset = self.catalog.get(node.dataset)
-        plugin = self.plugins.get(dataset.format)
-        if plugin is None:
-            return  # compile raises ExecutionError with the right message
-        total_rows: int | None = None
-        if self.cache_manager is not None and plugin.format_name != "cache" and node.paths:
-            cached_lengths = []
-            for path in node.paths:
-                entry = self.cache_manager.peek(field_cache_key(dataset.name, tuple(path)))
-                if entry is None:
-                    cached_lengths = None
-                    break
-                cached_lengths.append(len(entry.data))
-            if cached_lengths:
-                total_rows = cached_lengths[0]
-        if total_rows is None:
-            if not plugin.supports_scan_ranges:
-                raise VectorizationError(
-                    f"scan of {dataset.name!r} ({plugin.format_name}) is not "
-                    "range-splittable; served by the serial vectorized tier"
-                )
-            total_rows = plugin.scan_row_count(dataset)
-            if total_rows is None:
-                raise VectorizationError(
-                    f"row count of {dataset.name!r} is unknown; served by the "
-                    "serial vectorized tier"
-                )
-        morsels = plan_morsels(
-            total_rows, self.batch_size, self.num_workers, self.morsel_rows
+        precheck_driving_scan(
+            plan,
+            self.catalog,
+            self.plugins,
+            self.cache_manager,
+            self.batch_size,
+            self.num_workers,
+            self.morsel_rows,
         )
-        if len(morsels) <= 1:
-            raise VectorizationError(
-                "input fits a single morsel; served by the serial vectorized tier"
-            )
 
     def _plan_scan_morsels(self, pipeline: CompiledPipeline) -> list[Morsel]:
         source = pipeline.source
@@ -325,11 +348,13 @@ class _RootTask:
         raise NotImplementedError
 
 
-def _make_reduce_root(plan: PhysReduce) -> "_RootTask":
+def _make_reduce_root(
+    plan: PhysReduce, params: Mapping[int | str, object] | None = None
+) -> "_RootTask":
     aggregated = any(
         contains_aggregate(column.expression) for column in plan.columns
     )
-    return _GlobalAggregateRoot(plan) if aggregated else _ProjectionRoot(plan)
+    return _GlobalAggregateRoot(plan, params) if aggregated else _ProjectionRoot(plan)
 
 
 class _ProjectionRoot(_RootTask):
@@ -373,8 +398,11 @@ class _GlobalAggregateRoot(_RootTask):
     """Reduce with aggregates: one partial accumulator per morsel, merged in
     morsel order and finalized exactly like the serial tier."""
 
-    def __init__(self, plan: PhysReduce):
+    def __init__(
+        self, plan: PhysReduce, params: Mapping[int | str, object] | None = None
+    ):
         self.plan = plan
+        self.params = params
         self.names = [column.name for column in plan.columns]
 
     def new_state(self) -> _BatchAggregates:
@@ -391,10 +419,11 @@ class _GlobalAggregateRoot(_RootTask):
             accumulators.merge(partial)
         values = accumulators.finalize()
         counters.output_rows += 1
+        finish_env = parameter_env(self.params)
         columns: dict[str, Any] = {}
         for column in self.plan.columns:
             final = replace_aggregates(column.expression, literal_results(values))
-            columns[column.name] = [_python_value(final.evaluate({}))]
+            columns[column.name] = [_python_value(final.evaluate(finish_env))]
         return self.names, columns
 
 
@@ -419,8 +448,11 @@ class _NestRoot(_RootTask):
     ``radix_group`` produces, which is the same order the serial tier emits.
     """
 
-    def __init__(self, plan: PhysNest):
+    def __init__(
+        self, plan: PhysNest, params: Mapping[int | str, object] | None = None
+    ):
         self.plan = plan
+        self.params = params
         self.names = [column.name for column in plan.columns]
         self.group_key_fingerprints, self.aggregates = collect_nest_aggregates(plan)
 
@@ -533,7 +565,8 @@ class _NestRoot(_RootTask):
                 stacked,
             )
         columns = finish_nest_columns(
-            self.plan, self.group_key_fingerprints, grouping, aggregate_results
+            self.plan, self.group_key_fingerprints, grouping, aggregate_results,
+            params=self.params,
         )
         return self.names, columns
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.core.expressions import Expression, OutputColumn, to_string
+from repro.core.expressions import Expression, OutputColumn, iter_parameters, to_string
 from repro.plugins.base import FieldPath
 
 
@@ -299,3 +299,35 @@ def scans_of(plan: PhysicalPlan) -> list[PhysScan]:
 def datasets_of(plan: PhysicalPlan) -> set[str]:
     """Names of all datasets touched by the plan."""
     return {scan.dataset for scan in scans_of(plan)}
+
+
+def expressions_of(node: PhysicalPlan) -> list[Expression]:
+    """Every expression carried by one physical operator (not its children)."""
+    expressions: list[Expression] = []
+    if isinstance(node, (PhysSelect, PhysNestedLoopJoin)):
+        if node.predicate is not None:
+            expressions.append(node.predicate)
+    elif isinstance(node, PhysUnnest):
+        if node.predicate is not None:
+            expressions.append(node.predicate)
+    elif isinstance(node, PhysHashJoin):
+        expressions.extend((node.left_key, node.right_key))
+        if node.residual is not None:
+            expressions.append(node.residual)
+    elif isinstance(node, PhysReduce):
+        expressions.extend(column.expression for column in node.columns)
+    elif isinstance(node, PhysNest):
+        expressions.extend(column.expression for column in node.columns)
+        expressions.extend(node.group_by)
+    return expressions
+
+
+def parameters_of(plan: PhysicalPlan) -> list[int | str]:
+    """Query-parameter keys referenced anywhere in the plan, deduplicated in
+    first-appearance order."""
+    seen: dict[int | str, None] = {}
+    for node in plan.walk():
+        for expression in expressions_of(node):
+            for parameter in iter_parameters(expression):
+                seen.setdefault(parameter.key)
+    return list(seen)

@@ -10,7 +10,11 @@ the evaluation workloads of the paper:
   references and optional aliases,
 * ``WHERE`` with conjunctions/disjunctions of comparisons over (possibly
   nested) field paths,
-* ``GROUP BY``, ``ORDER BY`` and ``LIMIT``.
+* ``GROUP BY``, ``ORDER BY`` and ``LIMIT``,
+* query parameters: ``?`` (positional, 0-based in order of appearance) and
+  ``:name`` (named) placeholders anywhere a scalar expression is allowed;
+  they parse into :class:`~repro.core.expressions.Parameter` nodes and are
+  bound to values at execution time through ``PreparedQuery.execute``.
 
 Column references may be qualified by a table alias (``l.quantity``) or left
 unqualified (``quantity``); unqualified names and JSON paths are resolved
@@ -27,6 +31,7 @@ from repro.core.expressions import (
     FieldRef,
     Literal,
     OutputColumn,
+    Parameter,
     UnaryOp,
 )
 from repro.core.lexer import IDENT, NUMBER, STRING, SYMBOL, TokenStream
@@ -56,6 +61,9 @@ def parse_sql(text: str) -> Comprehension:
 class _SqlParser:
     def __init__(self, stream: TokenStream):
         self.stream = stream
+        #: Number of ``?`` placeholders seen so far; each gets the next
+        #: 0-based positional parameter index.
+        self.positional_parameters = 0
 
     # -- query structure ----------------------------------------------------
 
@@ -87,10 +95,15 @@ class _SqlParser:
         if self.stream.accept_keyword("order"):
             self.stream.expect(IDENT, "by")
             order_by = self._parse_order_list()
-        limit = None
+        limit: int | Parameter | None = None
         if self.stream.accept_keyword("limit"):
-            token = self.stream.expect(NUMBER)
-            limit = int(token.value)
+            if self.stream.accept(SYMBOL, "?"):
+                limit = Parameter(self.positional_parameters)
+                self.positional_parameters += 1
+            elif self.stream.accept(SYMBOL, ":"):
+                limit = Parameter(self.stream.expect(IDENT).value)
+            else:
+                limit = int(self.stream.expect(NUMBER).value)
 
         for join_filter in join_filters:
             qualifiers.append(Filter(join_filter))
@@ -259,6 +272,15 @@ class _SqlParser:
             inner = self._parse_expression()
             self.stream.expect(SYMBOL, ")")
             return inner
+        if token.kind == SYMBOL and token.value == "?":
+            self.stream.advance()
+            index = self.positional_parameters
+            self.positional_parameters += 1
+            return Parameter(index)
+        if token.kind == SYMBOL and token.value == ":":
+            self.stream.advance()
+            name = self.stream.expect(IDENT).value
+            return Parameter(name)
         if token.kind == IDENT:
             lowered = token.value.lower()
             if lowered in ("true", "false"):

@@ -163,7 +163,7 @@ def test_schema_inference_on_registration(paths):
 def test_codegen_disabled_falls_back_to_volcano(paths):
     engine = make_engine(paths, enable_codegen=False)
     result = engine.query("SELECT COUNT(*) FROM items_csv WHERE qty < 5")
-    assert not result.used_codegen
+    assert result.tier != "codegen"
     assert result.scalar() == sum(1 for r in expected_items() if r["qty"] < 5)
 
 

@@ -228,8 +228,8 @@ def _normalized(rows):
 def test_generated_code_matches_volcano(engine, volcano_engine, query):
     generated = engine.query(query)
     interpreted = volcano_engine.query(query)
-    assert generated.used_codegen
-    assert not interpreted.used_codegen
+    assert generated.tier == "codegen"
+    assert interpreted.tier != "codegen"
     assert _normalized(generated.rows) == _normalized(interpreted.rows)
 
 

@@ -308,7 +308,6 @@ def test_repeated_parallel_runs_are_deterministic(workload_dir):
 def test_parallel_tier_attribution_and_profile(parallel_engine):
     result = parallel_engine.query("SELECT COUNT(*) FROM sailors WHERE rating > 4")
     assert result.tier == "vectorized-parallel"
-    assert not result.used_codegen
     profile = result.profile
     assert profile.execution_tier == "vectorized-parallel"
     assert profile.parallel_workers == 4
