@@ -180,6 +180,29 @@ def main() -> None:
     for row in result:
         print(f"  product {row[0]:>3}  sales={row[1]:>3}  revenue={row[2]:>9.2f}")
 
+    print("\n== Columnar ORDER BY: sort strategies ==")
+    # ORDER BY / LIMIT live in the physical plan (a Sort root — see
+    # explain()) and run through dtype-specialized kernels instead of boxing
+    # rows; profile.sort_strategy records which kernel served the query:
+    #   lexsort         one stable NumPy permutation over key transforms,
+    #   topk            bounded streaming top-K when a LIMIT is present —
+    #                   only K rows survive each batch,
+    #   parallel-merge  per-morsel sorted runs + a deterministic k-way merge
+    #                   on the parallel tier,
+    #   object-fallback boxed comparator for mixed-type object columns.
+    full = engine.query("SELECT sale_id, amount FROM sales ORDER BY amount DESC")
+    top = engine.query("SELECT sale_id, amount FROM sales ORDER BY amount DESC LIMIT 3")
+    print(f"  full sort:  strategy={full.profile.sort_strategy} "
+          f"rows_sorted={full.profile.rows_sorted}")
+    print(f"  with LIMIT: strategy={top.profile.sort_strategy} "
+          f"(top-{len(top)} without a full sort)")
+    explanation = engine.explain(
+        "SELECT sale_id, amount FROM sales ORDER BY amount DESC LIMIT 3"
+    )
+    for line in explanation.splitlines():
+        if line.startswith("Sort(") or line.startswith("topk:"):
+            print(f"  explain: {line}")
+
 
 if __name__ == "__main__":
     main()

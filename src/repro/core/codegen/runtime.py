@@ -55,6 +55,15 @@ class ExecutionProfile:
     #: True when the codegen tier served this execution from an
     #: already-compiled program (no code generation happened on this call).
     compiled_from_cache: bool = False
+    #: Which sort kernel served the query's ORDER BY: "lexsort" (one stable
+    #: dtype-specialized permutation), "topk" (bounded streaming top-K for
+    #: ORDER BY + LIMIT), "parallel-merge" (per-morsel sorted runs merged
+    #: k-way at the root), "object-fallback" (boxed comparator for object
+    #: columns) — or None when the query has no ORDER BY.
+    sort_strategy: str | None = None
+    #: Rows that entered a sort kernel (for streaming top-K this counts every
+    #: pruned batch, so it can exceed the result size).
+    rows_sorted: int = 0
 
     def merge(self, other: "ExecutionProfile") -> None:
         self.rows_scanned += other.rows_scanned
@@ -68,6 +77,8 @@ class ExecutionProfile:
         self.parallel_workers = max(self.parallel_workers, other.parallel_workers)
         self.morsels_dispatched += other.morsels_dispatched
         self.morsels_stolen += other.morsels_stolen
+        self.sort_strategy = self.sort_strategy or other.sort_strategy
+        self.rows_sorted += other.rows_sorted
 
 
 class QueryRuntime:

@@ -95,7 +95,6 @@ from repro.core.expressions import (
     Parameter,
     RecordConstruct,
     UnaryOp,
-    parameter_env,
     to_string,
 )
 from repro.core.parallel import ParallelVectorizedExecutor, precheck_driving_scan
@@ -107,9 +106,12 @@ from repro.core.physical import (
     PhysNest,
     PhysNestedLoopJoin,
     PhysReduce,
+    PhysSort,
     PhysUnnest,
     PhysicalPlan,
+    unwrap_sort,
 )
+from repro.core.sort import resolve_limit, sort_columns
 from repro.core.sql_parser import parse_sql
 from repro.core.translator import translate
 from repro.errors import (
@@ -611,7 +613,7 @@ class ProteusEngine:
         """
         comprehension = self._to_comprehension(text)
         logical = translate(comprehension)
-        physical = self._plan_logical(logical)
+        physical = self._plan_logical(logical, comprehension=comprehension)
         self.last_plan = physical
         return PreparedQuery(
             self,
@@ -642,13 +644,25 @@ class ProteusEngine:
         comprehension = self._to_comprehension(text)
         physical = self._plan(comprehension)
         parts = ["== physical plan ==", physical.pretty()]
+        if isinstance(physical, PhysSort):
+            strategy, why = physical.planned_strategy()
+            parts.extend(
+                [
+                    "",
+                    "== sort strategy ==",
+                    f"{strategy}: {why}",
+                    "(execution refines the choice per key dtype: object "
+                    "columns fall back to the boxed comparator, and the "
+                    "parallel tier merges per-morsel sorted runs)",
+                ]
+            )
         codegen_reason: str | None = None
         generated = None
         if not self.enable_codegen:
             codegen_reason = "disabled (enable_codegen=False)"
         else:
             try:
-                generated = self.generator.generate(physical)
+                generated = self.generator.generate(unwrap_sort(physical))
             except CodegenError as exc:
                 codegen_reason = str(exc)
         if generated is not None:
@@ -707,16 +721,25 @@ class ProteusEngine:
         return normalize(bind_comprehension(comprehension, self.catalog.element_types()))
 
     def _plan_logical(
-        self, logical, parameters: ParamValues | None = None
+        self,
+        logical,
+        parameters: ParamValues | None = None,
+        comprehension: Comprehension | None = None,
     ) -> PhysicalPlan:
-        physical = self.planner.plan(logical, parameters=parameters)
+        order_by = comprehension.order_by if comprehension is not None else None
+        limit = comprehension.limit if comprehension is not None else None
+        physical = self.planner.plan(
+            logical, parameters=parameters, order_by=order_by, limit=limit
+        )
         _validate_output_columns(physical)
         return physical
 
     def _plan(
         self, comprehension: Comprehension, parameters: ParamValues | None = None
     ) -> PhysicalPlan:
-        physical = self._plan_logical(translate(comprehension), parameters)
+        physical = self._plan_logical(
+            translate(comprehension), parameters, comprehension=comprehension
+        )
         self.last_plan = physical
         return physical
 
@@ -739,20 +762,27 @@ class ProteusEngine:
             # parameter-abstracted fingerprint, so re-optimization can only
             # reuse or add compiled artifacts, never invalidate them.
             prepared._plan = self._plan_logical(
-                prepared._logical, parameters=params or None
+                prepared._logical,
+                parameters=params or None,
+                comprehension=prepared.comprehension,
             )
             if params:
                 prepared._value_optimized = True
         self.last_plan = prepared._plan
-        return self._execute(prepared._plan, prepared.comprehension, params or None)
+        return self._execute(prepared._plan, params or None)
 
     def _execute(
         self,
         physical: PhysicalPlan,
-        comprehension: Comprehension,
         params: ParamValues | None = None,
     ) -> ResultSet:
         started = time.perf_counter()
+        # Resolve a parameterized LIMIT up front: literal and bound values go
+        # through the same validation (negative limits are rejected in both).
+        sort_plan = physical if isinstance(physical, PhysSort) else None
+        bound_limit = (
+            resolve_limit(sort_plan.limit, params) if sort_plan is not None else None
+        )
         executed: tuple[list[str], dict[str, Any], ExecutionProfile] | None = None
         if self.enable_codegen:
             try:
@@ -787,22 +817,20 @@ class ProteusEngine:
             executed = self._execute_volcano(physical, params)
         names, columns, profile = executed
         length, data = _normalize_result_columns(names, columns)
-        limit = comprehension.limit
-        if isinstance(limit, Parameter):
-            value = limit.evaluate(parameter_env(params))
-            if isinstance(value, np.integer):
-                value = int(value)
-            elif isinstance(value, float) and value.is_integer():
-                value = int(value)
-            if not isinstance(value, int) or isinstance(value, bool):
-                raise ProteusError(
-                    f"LIMIT parameter {limit.display} must be an integer, "
-                    f"got {value!r}"
-                )
-            limit = max(value, 0)
-        length, data = _apply_order_and_limit_columns(
-            names, length, data, comprehension.order_by, limit
-        )
+        if sort_plan is not None and profile.sort_strategy is None:
+            # The tier materialized the unsorted output (codegen / volcano /
+            # a batch tier that left the epilogue to the engine): run the
+            # columnar sort kernels here, one permutation, no row boxing.
+            rows_in = length
+            length, data, strategy = sort_columns(
+                names, length, data, sort_plan.keys, bound_limit
+            )
+            if strategy is not None:
+                profile.sort_strategy = strategy
+                if bound_limit != 0:
+                    # LIMIT 0 short-circuits without running a kernel; no
+                    # rows entered a sort.
+                    profile.rows_sorted += rows_in
         elapsed = time.perf_counter() - started
         self.last_profile = profile
         return ResultSet(
@@ -817,18 +845,23 @@ class ProteusEngine:
     def _execute_generated(
         self, physical: PhysicalPlan, params: ParamValues | None = None
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
-        fingerprint = physical.fingerprint()
+        # A root PhysSort is executed by the engine's columnar sort kernels on
+        # the program's output; the program itself covers the child plan, so
+        # one compiled artifact serves every ORDER BY / LIMIT variation of the
+        # same shape (the cache is keyed by the generated plan's fingerprint).
+        target = unwrap_sort(physical)
+        fingerprint = target.fingerprint()
         generated = self._compiled.get(fingerprint)
         from_cache = generated is not None
         if generated is None:
-            generated = self.generator.generate(physical)
+            generated = self.generator.generate(target)
             self._compiled[fingerprint] = generated
         self.last_generated_source = generated.source
         runtime = QueryRuntime(
             self.catalog, self.plugins, self.cache_manager, params=params
         )
         output = generated(runtime)
-        names = _output_names(physical)
+        names = _output_names(target)
         runtime.profile.used_generated_code = True
         runtime.profile.execution_tier = "codegen"
         runtime.profile.compiled_from_cache = from_cache
@@ -850,6 +883,7 @@ class ProteusEngine:
             used_generated_code=False, execution_tier="vectorized-parallel"
         )
         _copy_pipeline_counters(profile, executor.counters)
+        profile.sort_strategy = executor.sort_strategy
         profile.parallel_workers = executor.num_workers
         profile.morsels_dispatched = executor.morsels_dispatched
         profile.morsels_stolen = executor.morsels_stolen
@@ -871,6 +905,7 @@ class ProteusEngine:
             used_generated_code=False, execution_tier="vectorized"
         )
         _copy_pipeline_counters(profile, executor.counters)
+        profile.sort_strategy = executor.sort_strategy
         self.last_generated_source = None
         return names, columns, profile
 
@@ -878,7 +913,9 @@ class ProteusEngine:
         self, physical: PhysicalPlan, params: ParamValues | None = None
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VolcanoExecutor(self.catalog, self.plugins, params=params)
-        names, columns = executor.execute(physical)
+        # The engine's sort kernels run on the materialized output; the
+        # interpreter never sees the PhysSort root.
+        names, columns = executor.execute(unwrap_sort(physical))
         profile = ExecutionProfile(used_generated_code=False, execution_tier="volcano")
         profile.rows_scanned = executor.tuples_processed
         self.last_generated_source = None
@@ -890,6 +927,7 @@ class ProteusEngine:
         self, physical: PhysicalPlan, codegen_reason: str | None
     ) -> list[tuple[str, str | None]]:
         """(tier, decline reason or None) for every tier, in cascade order."""
+        physical = unwrap_sort(physical)
         batch_reason = _batch_tier_decline(physical)
         if not self.enable_vectorized:
             parallel_reason: str | None = "disabled (enable_vectorized=False)"
@@ -970,6 +1008,7 @@ def _batch_supported(expression: Expression) -> bool:
 def _batch_tier_decline(physical: PhysicalPlan) -> str | None:
     """Why the batch tiers would reject this plan (``None`` when they serve
     it) — the static prediction matching the executors' own checks."""
+    physical = unwrap_sort(physical)
     for node in physical.walk():
         if isinstance(node, (PhysHashJoin, PhysNestedLoopJoin)) and node.outer:
             return "outer join is served by the Volcano interpreter"
@@ -1009,9 +1048,11 @@ def _copy_pipeline_counters(profile: ExecutionProfile, counters) -> None:
     profile.join_output_rows = counters.join_output_rows
     profile.groups_built = counters.groups_built
     profile.output_rows = counters.output_rows
+    profile.rows_sorted = counters.rows_sorted
 
 
 def _output_names(physical: PhysicalPlan) -> list[str]:
+    physical = unwrap_sort(physical)
     if isinstance(physical, (PhysReduce, PhysNest)):
         return [column.name for column in physical.columns]
     raise ExecutionError("plan root must be Reduce or Nest")
@@ -1022,6 +1063,7 @@ def _validate_output_columns(physical: PhysicalPlan) -> None:
     expressions: every executor keys its result columns by name, so one of
     the two would silently shadow the other (e.g. ``SELECT a.id, b.id``
     without aliases)."""
+    physical = unwrap_sort(physical)
     if not isinstance(physical, (PhysReduce, PhysNest)):
         return
     seen: dict[str, tuple] = {}
@@ -1113,22 +1155,6 @@ def _output_value(value: Any) -> Any:
     return None if t.is_missing(value) else value
 
 
-class _DescendingKey:
-    """Inverts comparison for descending sort keys while keeping NULLS LAST
-    handling in the enclosing ``(is None, key)`` tuple."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value):
-        self.value = value
-
-    def __eq__(self, other):
-        return self.value == other.value
-
-    def __lt__(self, other):
-        return other.value < self.value
-
-
 def _apply_order_and_limit_columns(
     names: Sequence[str],
     length: int,
@@ -1136,41 +1162,8 @@ def _apply_order_and_limit_columns(
     order_by: Sequence[tuple[str, bool]],
     limit: int | None,
 ) -> tuple[int, dict[str, Any]]:
-    """Apply ORDER BY / LIMIT in columnar space.
-
-    Sorting computes one permutation over the sort-key columns and gathers
-    every buffer through it — rows are never materialized.  Missing values
-    sort NULLS LAST in *both* directions (a descending sort must not float
-    them to the front)."""
-    if order_by:
-        names = list(names)
-        for column, _ in order_by:
-            if column not in names:
-                raise ExecutionError(
-                    f"ORDER BY column {column!r} is not part of the result "
-                    f"projection; output columns: {names}"
-                )
-        indices = list(range(length))
-        for column, ascending in reversed(order_by):
-            values = _python_values(data[column])
-            if ascending:
-                indices.sort(key=lambda i: (values[i] is None, values[i]))
-            else:
-                indices.sort(
-                    key=lambda i: (values[i] is None, _DescendingKey(values[i]))
-                )
-        if limit is not None:
-            indices = indices[:limit]
-        data = {name: _take(buffer, indices) for name, buffer in data.items()}
-        return len(indices), data
-    if limit is not None and limit < length:
-        data = {name: buffer[:limit] for name, buffer in data.items()}
-        return limit, data
+    """Apply ORDER BY / LIMIT in columnar space (compatibility wrapper around
+    :func:`repro.core.sort.sort_columns` — the engine itself executes sorts
+    through the :class:`~repro.core.physical.PhysSort` plan root)."""
+    length, data, _ = sort_columns(names, length, data, order_by, limit)
     return length, data
-
-
-def _take(buffer, indices: list[int]):
-    """Gather a columnar buffer by a permutation (array or list backed)."""
-    if isinstance(buffer, np.ndarray):
-        return buffer[np.asarray(indices, dtype=np.int64)]
-    return [buffer[i] for i in indices]

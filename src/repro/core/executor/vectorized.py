@@ -86,8 +86,16 @@ from repro.core.physical import (
     PhysReduce,
     PhysScan,
     PhysSelect,
+    PhysSort,
     PhysUnnest,
     PhysicalPlan,
+)
+from repro.core.sort import (
+    STRATEGY_TOPK,
+    TopKAccumulator,
+    concat_chunks,
+    resolve_limit,
+    sort_columns,
 )
 from repro.core.types import python_value as _python_value
 from repro.errors import ExecutionError, PluginError, VectorizationError
@@ -295,6 +303,7 @@ class PipelineCounters:
     join_output_rows: int = 0
     groups_built: int = 0
     output_rows: int = 0
+    rows_sorted: int = 0
 
     def merge(self, other: "PipelineCounters") -> None:
         self.rows_scanned += other.rows_scanned
@@ -305,6 +314,7 @@ class PipelineCounters:
         self.join_output_rows += other.join_output_rows
         self.groups_built += other.groups_built
         self.output_rows += other.output_rows
+        self.rows_sorted += other.rows_sorted
 
 
 # ---------------------------------------------------------------------------
@@ -867,13 +877,21 @@ class VectorizedExecutor:
         self.params = params
         #: Counters mirrored into the engine's :class:`ExecutionProfile`.
         self.counters = PipelineCounters()
+        #: Sort kernel this executor ran for a root ``PhysSort`` (``None``
+        #: when the engine's columnar epilogue should handle the sort — small
+        #: grouped/aggregated outputs are cheaper to sort once materialized).
+        self.sort_strategy: str | None = None
 
     # -- public API ----------------------------------------------------------
 
     def execute(self, plan: PhysicalPlan) -> tuple[list[str], dict[str, Any]]:
         """Execute a plan; returns (column names, column values)."""
+        sort_plan: PhysSort | None = None
+        if isinstance(plan, PhysSort):
+            sort_plan = plan
+            plan = plan.child
         if isinstance(plan, PhysReduce):
-            names, columns, compiler = self._execute_reduce(plan)
+            names, columns, compiler = self._execute_reduce(plan, sort_plan)
         elif isinstance(plan, PhysNest):
             names, columns, compiler = self._execute_nest(plan)
         else:
@@ -907,12 +925,22 @@ class VectorizedExecutor:
     # -- roots -----------------------------------------------------------------
 
     def _execute_reduce(
-        self, plan: PhysReduce
+        self, plan: PhysReduce, sort_plan: PhysSort | None = None
     ) -> tuple[list[str], dict[str, Any], PipelineCompiler]:
         names = [column.name for column in plan.columns]
         compiler, pipeline = self._compile(plan.child)
         aggregated = any(contains_aggregate(column.expression) for column in plan.columns)
         if not aggregated:
+            limit = (
+                resolve_limit(sort_plan.limit, self.params)
+                if sort_plan is not None
+                else None
+            )
+            if sort_plan is not None and sort_plan.keys and limit is not None:
+                return (
+                    *self._reduce_streaming_topk(plan, pipeline, sort_plan, limit),
+                    compiler,
+                )
             unique_columns = unique_output_columns(plan.columns)
             chunks: dict[str, list[np.ndarray]] = {name: [] for name in names}
             total = 0
@@ -924,13 +952,22 @@ class VectorizedExecutor:
                         )
                     )
                 total += batch.count
-            self.counters.output_rows += total
-            columns = {
-                name: (
-                    np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
+                if limit is not None and total >= limit:
+                    # Pure LIMIT (keys would have taken the streaming top-K
+                    # path): enough rows survived — stop scanning.  The
+                    # engine's epilogue slices the exact prefix.
+                    break
+            # output_rows counts the rows emitted into the result: a pure
+            # LIMIT stops scanning mid-batch, and the engine slices the
+            # exact prefix off the final (possibly overshooting) batch.
+            self.counters.output_rows += total if limit is None else min(total, limit)
+            columns = {name: concat_chunks(parts) for name, parts in chunks.items()}
+            if sort_plan is not None and sort_plan.keys:
+                self.counters.rows_sorted += total
+                length, columns, strategy = sort_columns(
+                    names, total, columns, sort_plan.keys, limit
                 )
-                for name, parts in chunks.items()
-            }
+                self.sort_strategy = strategy
             return names, columns, compiler
         accumulators = _BatchAggregates(plan.columns)
         for batch in self._pipeline_batches(pipeline):
@@ -943,6 +980,48 @@ class VectorizedExecutor:
             final = replace_aggregates(column.expression, literal_results(values))
             columns[column.name] = [_python_value(final.evaluate(finish_env))]
         return names, columns, compiler
+
+    def _reduce_streaming_topk(
+        self,
+        plan: PhysReduce,
+        pipeline: CompiledPipeline,
+        sort_plan: PhysSort,
+        limit: int,
+    ) -> tuple[list[str], dict[str, Any]]:
+        """ORDER BY + LIMIT over a projection: bounded streaming top-K.
+
+        Each batch is pruned to the K rows that can still reach the result
+        before the next batch streams in, so the full input is never
+        materialized — see :class:`repro.core.sort.TopKAccumulator`.
+        """
+        names = [column.name for column in plan.columns]
+        unique_columns = unique_output_columns(plan.columns)
+        if limit == 0:
+            # Evaluate (only) the first batch so the empty result keeps the
+            # columns' real dtypes, matching the other tiers' ``buffer[:0]``.
+            self.sort_strategy = STRATEGY_TOPK
+            for batch in self._pipeline_batches(pipeline):
+                return names, {
+                    column.name: materialize(
+                        evaluate_batch(column.expression, batch), batch.count
+                    )[:0]
+                    for column in unique_columns
+                }
+            return names, {name: np.zeros(0, dtype=np.float64) for name in names}
+        accumulator = TopKAccumulator(names, sort_plan.keys, limit)
+        for batch in self._pipeline_batches(pipeline):
+            columns = {
+                column.name: materialize(
+                    evaluate_batch(column.expression, batch), batch.count
+                )
+                for column in unique_columns
+            }
+            accumulator.push(columns, batch.count)
+        length, columns, strategy = accumulator.finish()
+        self.counters.rows_sorted += accumulator.rows_sorted
+        self.counters.output_rows += length
+        self.sort_strategy = strategy
+        return names, columns
 
     def _execute_nest(
         self, plan: PhysNest

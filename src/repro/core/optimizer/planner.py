@@ -34,6 +34,7 @@ from repro.core.optimizer.join_order import (
     order_joins,
 )
 from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.expressions import Expression
 from repro.core.physical import (
     PhysHashJoin,
     PhysNest,
@@ -41,9 +42,11 @@ from repro.core.physical import (
     PhysReduce,
     PhysScan,
     PhysSelect,
+    PhysSort,
     PhysUnnest,
     PhysicalPlan,
 )
+from repro.core.sort import validate_limit, validate_order_columns
 from repro.errors import PlanningError
 from repro.plugins.base import FieldPath
 from repro.plugins.cache_plugin import CachePlugin
@@ -71,6 +74,8 @@ class Planner:
         self,
         logical: LogicalPlan,
         parameters: Mapping[int | str, object] | None = None,
+        order_by: "list[tuple[str, bool]] | None" = None,
+        limit: "int | Expression | None" = None,
     ) -> PhysicalPlan:
         """Lower ``logical`` to a physical plan.
 
@@ -80,6 +85,10 @@ class Planner:
         produced plan still carries the abstract ``Parameter`` nodes — its
         fingerprint, and therefore the compiled-program cache key, is
         independent of the values.
+
+        ``order_by`` / ``limit`` place a :class:`PhysSort` above the plan
+        root, making the query's ordering part of the plan (fingerprinted,
+        explained, executed by the tier-specialized sort kernels).
         """
         self.statistics.parameter_values = parameters
         try:
@@ -91,9 +100,32 @@ class Planner:
             self._unnested_bindings = {
                 node.binding for node in logical.walk() if isinstance(node, Unnest)
             }
-            return self._convert(logical, required, binding_datasets)
+            physical = self._convert(logical, required, binding_datasets)
         finally:
             self.statistics.parameter_values = None
+        if order_by or limit is not None:
+            physical = self._attach_sort(physical, order_by or [], limit)
+        return physical
+
+    def _attach_sort(
+        self,
+        physical: PhysicalPlan,
+        order_by: "list[tuple[str, bool]]",
+        limit: "int | Expression | None",
+    ) -> PhysSort:
+        """Place the ORDER BY / LIMIT root, validating it at plan time: sort
+        keys must name output columns, and a literal LIMIT must be
+        non-negative (a parameterized one is validated identically when its
+        value binds)."""
+        if not isinstance(physical, (PhysReduce, PhysNest)):  # pragma: no cover
+            raise PlanningError(
+                f"cannot sort the output of plan root {physical.describe()}"
+            )
+        names = [column.name for column in physical.columns]
+        validate_order_columns(names, names, order_by)
+        if limit is not None and not isinstance(limit, Expression):
+            limit = validate_limit(int(limit))
+        return PhysSort(order_by, limit, physical)
 
     # -- helpers -------------------------------------------------------------------
 

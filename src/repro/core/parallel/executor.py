@@ -67,8 +67,18 @@ from repro.core.physical import (
     PhysReduce,
     PhysScan,
     PhysSelect,
+    PhysSort,
     PhysUnnest,
     PhysicalPlan,
+)
+from repro.core.sort import (
+    STRATEGY_PARALLEL_MERGE,
+    TopKAccumulator,
+    concat_chunks,
+    merge_encodable,
+    merge_sorted_runs,
+    resolve_limit,
+    sort_columns,
 )
 from repro.core.types import python_value as _python_value
 from repro.core.expressions import contains_aggregate, parameter_env
@@ -168,12 +178,20 @@ class ParallelVectorizedExecutor:
         self.counters = PipelineCounters()
         self.morsels_dispatched = 0
         self.morsels_stolen = 0
+        #: Sort kernel this executor ran for a root ``PhysSort`` (``None``
+        #: when the engine's columnar epilogue handles the sort — grouped and
+        #: aggregated outputs are small enough to sort once merged).
+        self.sort_strategy: str | None = None
         self._pool = WorkerPool(self.num_workers)
 
     # -- public API ----------------------------------------------------------
 
     def execute(self, plan: PhysicalPlan) -> tuple[list[str], dict[str, Any]]:
         """Execute a plan; returns (column names, column values)."""
+        sort_plan: PhysSort | None = None
+        if isinstance(plan, PhysSort):
+            sort_plan = plan
+            plan = plan.child
         if isinstance(plan, PhysReduce):
             root = _make_reduce_root(plan, self.params)
         elif isinstance(plan, PhysNest):
@@ -182,6 +200,23 @@ class ParallelVectorizedExecutor:
             raise ExecutionError(
                 f"the plan root must be Reduce or Nest, got {plan.describe()}"
             )
+        if sort_plan is not None and isinstance(root, _ProjectionRoot):
+            # Per-morsel sort + k-way merge: each worker sorts (and, under a
+            # LIMIT, bounds) its own morsel's output, the root merges the
+            # sorted runs in morsel order — no serial final sort.  Multi-key
+            # runs are statically unmergeable (the root would re-sort the
+            # concatenation), so without a LIMIT to bound the morsel outputs
+            # the per-morsel sorts would be wasted work; those shapes stay
+            # on the plain projection root and the engine's one-shot
+            # epilogue.  Pure LIMIT — and LIMIT 0, which produces nothing —
+            # instead bound each morsel's emitted prefix on the plain root.
+            limit = resolve_limit(sort_plan.limit, self.params)
+            if sort_plan.keys and limit != 0 and (
+                len(sort_plan.keys) == 1 or limit is not None
+            ):
+                root = _SortedProjectionRoot(root, sort_plan.keys, limit)
+            elif not sort_plan.keys or limit == 0:
+                root.limit = limit
         # Refuse unsplittable / single-morsel driving scans *before*
         # compiling: compilation materializes join build sides, and that work
         # would be thrown away and redone by the serial fallback tier.
@@ -198,6 +233,12 @@ class ParallelVectorizedExecutor:
         )
         pipeline = compiler.compile(plan.child)
         names, columns = self._run_root(root, pipeline)
+        self.sort_strategy = getattr(root, "sort_strategy", None)
+        prefix_limit = getattr(root, "limit", None)
+        if prefix_limit is not None:
+            # The engine slices the exact prefix after the merge; report the
+            # emitted row count the way the serial tier does.
+            self.counters.output_rows = min(self.counters.output_rows, prefix_limit)
         compiler.store_scan_caches()
         return names, columns
 
@@ -217,6 +258,10 @@ class ParallelVectorizedExecutor:
                 out = pipeline.process(batch, counters)
                 if out is not None:
                     root.update(state, out, counters)
+                    if root.saturated(state):
+                        # The morsel's contribution is complete (e.g. a pure
+                        # LIMIT prefix); stop scanning its remaining rows.
+                        break
             return root.finish_morsel(state, counters), counters
 
         results = self._pool.run(morsels, run_morsel)
@@ -339,6 +384,11 @@ class _RootTask:
     def update(self, state: Any, batch: Batch, counters: PipelineCounters) -> None:
         raise NotImplementedError
 
+    def saturated(self, state: Any) -> bool:
+        """Whether this morsel's contribution is complete — further batches
+        cannot change it, so the worker may stop scanning the morsel."""
+        return False
+
     def finish_morsel(self, state: Any, counters: PipelineCounters) -> Any:
         return state
 
@@ -359,12 +409,20 @@ def _make_reduce_root(
 
 class _ProjectionRoot(_RootTask):
     """Reduce without aggregates: per-morsel column chunks, concatenated in
-    morsel order (bit-identical to the serial tier)."""
+    morsel order (bit-identical to the serial tier).
+
+    ``limit`` (set by the executor for pure-LIMIT queries and for
+    ``ORDER BY ... LIMIT 0``) truncates each morsel's output to its first
+    ``limit`` rows: any morsel-order prefix of the result only needs a
+    prefix of every morsel, so the root never materializes more than
+    ``morsels x limit`` rows while the engine slices the exact prefix.
+    """
 
     def __init__(self, plan: PhysReduce):
         self.plan = plan
         self.names = [column.name for column in plan.columns]
         self.unique_columns = unique_output_columns(plan.columns)
+        self.limit: int | None = None
 
     def new_state(self) -> dict:
         return {"chunks": {name: [] for name in self.names}, "total": 0}
@@ -376,7 +434,18 @@ class _ProjectionRoot(_RootTask):
             )
         state["total"] += batch.count
 
+    def saturated(self, state: dict) -> bool:
+        # LIMIT 0 still takes one batch, so the truncated empty buffers
+        # keep their dtypes.
+        return self.limit is not None and state["total"] >= max(self.limit, 1)
+
     def finish_morsel(self, state: dict, counters: PipelineCounters) -> dict:
+        if self.limit is not None and state["total"] > self.limit:
+            truncated = {
+                name: [concat_chunks(state["chunks"][name])[: self.limit]]
+                for name in self.names
+            }
+            state = {"chunks": truncated, "total": self.limit}
         counters.output_rows += state["total"]
         return state
 
@@ -388,9 +457,96 @@ class _ProjectionRoot(_RootTask):
                 for partial in partials
                 for chunk in partial["chunks"][name]
             ]
-            columns[name] = (
-                np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
-            )
+            columns[name] = concat_chunks(parts)
+        return self.names, columns
+
+
+class _SortedProjectionRoot(_RootTask):
+    """Projection under ORDER BY (and optionally LIMIT): per-morsel sorted
+    runs, merged deterministically at the root.
+
+    Every worker sorts its own morsel's output with the columnar kernels
+    (and truncates it to the top K when a LIMIT applies — at most K rows per
+    morsel ever reach the root), then the root runs the k-way merge of
+    :func:`repro.core.sort.merge_sorted_runs`.  Ties across runs resolve in
+    morsel order, so the output is identical to a stable sort of the
+    morsel-ordered concatenation — bit-identical to the serial tier at any
+    worker count.
+    """
+
+    def __init__(
+        self, inner: "_ProjectionRoot", keys: list[tuple[str, bool]], limit: int | None
+    ):
+        self.inner = inner
+        self.names = inner.names
+        self.keys = list(keys)
+        self.limit = limit
+        #: The strategy the merge ran ("parallel-merge", or the re-sort
+        #: kernel's name for shapes the merge cannot serve).
+        self.sort_strategy: str | None = None
+
+    def new_state(self) -> dict:
+        if self.limit is not None:
+            # Bounded morsel: stream batches through the same top-K
+            # accumulator the serial tier uses, so a worker never holds more
+            # than the accumulator's candidate budget per morsel.
+            return {"topk": TopKAccumulator(self.names, self.keys, self.limit)}
+        return self.inner.new_state()
+
+    def update(self, state: dict, batch: Batch, counters: PipelineCounters) -> None:
+        accumulator = state.get("topk")
+        if accumulator is not None:
+            columns = {
+                column.name: materialize(
+                    evaluate_batch(column.expression, batch), batch.count
+                )
+                for column in self.inner.unique_columns
+            }
+            accumulator.push(columns, batch.count)
+            return
+        self.inner.update(state, batch, counters)
+
+    def finish_morsel(
+        self, state: dict, counters: PipelineCounters
+    ) -> tuple[int, dict[str, Any]]:
+        # output_rows counts the rows the root emits into the result (the
+        # serial top-K path reports K, not the scanned total); it is counted
+        # once, after the merge.
+        accumulator = state.get("topk")
+        if accumulator is not None:
+            length, columns, _ = accumulator.finish()
+            counters.rows_sorted += accumulator.rows_sorted
+            return length, columns
+        length = state["total"]
+        columns = {
+            name: concat_chunks(state["chunks"][name]) for name in self.names
+        }
+        if length == 0:
+            return 0, columns
+        if not merge_encodable(columns[self.keys[0][0]]):
+            # The root cannot k-way-merge runs on this key dtype (string /
+            # object factorization codes are run-local) and will re-sort the
+            # concatenation anyway; without a LIMIT to bound the run there
+            # is nothing for a local sort to save — hand the run over raw.
+            return length, columns
+        counters.rows_sorted += length
+        length, columns, _ = sort_columns(
+            self.names, length, columns, self.keys, None
+        )
+        return length, columns
+
+    def merge(self, partials: list, counters: PipelineCounters):
+        runs = [partial for partial in partials if partial is not None]
+        merged_rows = sum(length for length, _ in runs)
+        length, columns, strategy = merge_sorted_runs(
+            self.names, runs, self.keys, self.limit
+        )
+        if strategy is not None and strategy != STRATEGY_PARALLEL_MERGE:
+            # The merge re-sorted the concatenation (multi-key / string
+            # keys); account for the root-side sort.
+            counters.rows_sorted += merged_rows
+        counters.output_rows += length
+        self.sort_strategy = strategy
         return self.names, columns
 
 

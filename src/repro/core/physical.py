@@ -259,6 +259,79 @@ class PhysReduce(PhysicalPlan):
         return f"Reduce[{self.monoid}]({columns})"
 
 
+class PhysSort(PhysicalPlan):
+    """Order (and optionally bound) the query output — the plan's root when
+    the query carries ORDER BY and/or LIMIT.
+
+    ``keys`` are ``(output column name, ascending)`` pairs over the child's
+    output columns; ``limit`` is a non-negative int, a ``Parameter``
+    expression bound at execution time, or ``None``.  Making the sort a plan
+    operator (instead of an engine-side epilogue) means the planner places
+    it, plan fingerprints cover it — a prepared ``LIMIT ?`` stays abstract —
+    and ``explain()`` reports the chosen strategy.
+
+    Execution is strategy-specialized per tier (see
+    :mod:`repro.core.sort`): dtype-specialized ``np.lexsort`` kernels, a
+    bounded streaming top-K when a LIMIT accompanies the sort, per-morsel
+    sorted runs merged k-way on the parallel tier, and a boxed-comparator
+    fallback for object columns the encoders cannot represent.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[tuple[str, bool]],
+        limit: "int | Expression | None",
+        child: PhysicalPlan,
+    ):
+        self.keys = [(str(name), bool(ascending)) for name, ascending in keys]
+        self.limit = limit
+        self.child = child
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def fingerprint(self) -> tuple:
+        if isinstance(self.limit, Expression):
+            limit = self.limit.fingerprint()
+        else:
+            limit = self.limit
+        return ("sort", tuple(self.keys), limit, self.child.fingerprint())
+
+    def planned_strategy(self) -> tuple[str, str]:
+        """(strategy, why) as planned — the data-independent choice.
+
+        Execution refines it per key dtype: object columns demote to the
+        comparator fallback, and the parallel tier upgrades single-key sorts
+        to per-morsel runs plus a k-way merge.
+        """
+        if self.keys and self.limit is not None:
+            return (
+                "topk",
+                "LIMIT bounds the sort; only the top K rows survive each batch",
+            )
+        if self.keys:
+            return ("lexsort", "full stable sort via dtype-specialized kernels")
+        return ("limit", "no sort keys; LIMIT truncates the output")
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{name} {'ASC' if ascending else 'DESC'}" for name, ascending in self.keys
+        )
+        parts = [keys] if keys else []
+        if self.limit is not None:
+            if isinstance(self.limit, Expression):
+                parts.append(f"limit={to_string(self.limit)}")
+            else:
+                parts.append(f"limit={self.limit}")
+        strategy, _ = self.planned_strategy()
+        return f"Sort({', '.join(parts)}) [strategy: {strategy}]"
+
+
+def unwrap_sort(plan: PhysicalPlan) -> PhysicalPlan:
+    """The plan beneath a root :class:`PhysSort` (identity otherwise)."""
+    return plan.child if isinstance(plan, PhysSort) else plan
+
+
 class PhysNest(PhysicalPlan):
     """Radix-hash grouping with per-group aggregates."""
 
@@ -319,6 +392,9 @@ def expressions_of(node: PhysicalPlan) -> list[Expression]:
     elif isinstance(node, PhysNest):
         expressions.extend(column.expression for column in node.columns)
         expressions.extend(node.group_by)
+    elif isinstance(node, PhysSort):
+        if isinstance(node.limit, Expression):
+            expressions.append(node.limit)
     return expressions
 
 

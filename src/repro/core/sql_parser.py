@@ -103,7 +103,13 @@ class _SqlParser:
             elif self.stream.accept(SYMBOL, ":"):
                 limit = Parameter(self.stream.expect(IDENT).value)
             else:
+                # A signed literal parses so that ``LIMIT -3`` fails the same
+                # validation as a ``LIMIT ?`` bound to -3, instead of a
+                # confusing token error.
+                negative = self.stream.accept(SYMBOL, "-") is not None
                 limit = int(self.stream.expect(NUMBER).value)
+                if negative:
+                    limit = -limit
 
         for join_filter in join_filters:
             qualifiers.append(Filter(join_filter))
