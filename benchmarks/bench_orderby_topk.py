@@ -103,6 +103,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="required top-K-over-full-sort speedup")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: 300k rows, same gates")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write a perf-trajectory JSON record to PATH")
     args = parser.parse_args(argv)
     if args.quick:
         args.rows = min(args.rows, 300_000)
@@ -209,6 +211,30 @@ def main(argv: list[str] | None = None) -> int:
                         "from the serial reference"
                     )
 
+    if args.json_path:
+        import json
+
+        record = {
+            "name": "bench_orderby_topk",
+            "rows": args.rows,
+            "kernels": {
+                "seed_boxed_sort_seconds": seed_seconds,
+                "lexsort_seconds": lex_seconds,
+                "topk_seconds": topk_seconds,
+                "lexsort_rows_per_sec": args.rows / lex_seconds if lex_seconds else 0.0,
+            },
+            "lexsort_speedup_over_seed": lex_speedup,
+            "lexsort_speedup_gate": args.lexsort_speedup,
+            "topk_speedup_over_full_sort": topk_speedup,
+            "topk_speedup_gate": args.topk_speedup,
+            "tiers": {
+                "strategies": [lex_strategy, topk_strategy],
+            },
+            "ok": not failures,
+            "failures": failures,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
     if failures:
         print("FAIL:", file=sys.stderr)
         for failure in failures:

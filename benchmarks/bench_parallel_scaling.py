@@ -111,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: 300k rows, 2 repetitions, "
                              "relaxed speedup bar for shared runners")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write a perf-trajectory JSON record to PATH")
     args = parser.parse_args(argv)
     if args.quick:
         args.rows = min(args.rows, 300_000)
@@ -133,13 +135,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"query:   {query}")
         print(f"cores:   {cores} usable")
 
+        failures: list[str] = []
         serial_seconds, serial = time_query(
             make_engine(path, workers=1, batch_size=args.batch_size),
             query, args.repetitions,
         )
         if serial.tier != "vectorized":
-            print(f"FAIL: expected serial tier 'vectorized', ran {serial.tier!r}")
-            return 1
+            failures.append(
+                f"expected serial tier 'vectorized', ran {serial.tier!r}"
+            )
 
         print(f"\n{'tier':<18} {'seconds':>10} {'speedup':>9} "
               f"{'morsels':>8} {'stolen':>7}")
@@ -151,13 +155,15 @@ def main(argv: list[str] | None = None) -> int:
                 query, args.repetitions,
             )
             if result.tier != "vectorized-parallel":
-                print(f"FAIL: expected tier 'vectorized-parallel' at "
-                      f"{workers} workers, ran {result.tier!r}")
-                return 1
+                failures.append(
+                    f"expected tier 'vectorized-parallel' at {workers} "
+                    f"workers, ran {result.tier!r}"
+                )
             if not rows_match(sorted(result.rows), sorted(serial.rows)):
-                print(f"\nFAIL: parallel rows at {workers} workers disagree "
-                      "with the serial tier")
-                return 1
+                failures.append(
+                    f"parallel rows at {workers} workers disagree with the "
+                    "serial tier"
+                )
             speedups[workers] = serial_seconds / seconds if seconds else float("inf")
             profile = result.profile
             print(f"{f'parallel x{workers}':<18} {seconds:>10.4f} "
@@ -166,15 +172,51 @@ def main(argv: list[str] | None = None) -> int:
 
         top_workers = max(args.workers)
         achieved = speedups[top_workers]
-        if cores < top_workers:
+        gated = cores >= top_workers
+        if gated and achieved < min_speedup:
+            failures.append(
+                f"{achieved:.1f}x speedup at {top_workers} workers is below "
+                f"the required {min_speedup:.1f}x"
+            )
+        if args.json_path:
+            import json
+
+            record = {
+                "name": "bench_parallel_scaling",
+                "rows": args.rows,
+                "query": query,
+                "usable_cores": cores,
+                "tiers": {
+                    "vectorized": {
+                        "seconds": serial_seconds,
+                        "rows_per_sec": (
+                            args.rows / serial_seconds if serial_seconds else 0.0
+                        ),
+                    },
+                    **{
+                        f"vectorized-parallel w{workers}": {
+                            "seconds": serial_seconds / speedup if speedup else 0.0,
+                            "speedup_over_serial": speedup,
+                        }
+                        for workers, speedup in speedups.items()
+                    },
+                },
+                "speedup_at_top_workers": achieved,
+                "speedup_gate": min_speedup if gated else None,
+                "ok": not failures,
+                "failures": failures,
+            }
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2)
+        if failures:
+            for failure in failures:
+                print(f"\nFAIL: {failure}")
+            return 1
+        if not gated:
             print(f"\nOK (informational): only {cores} usable core(s) for "
                   f"{top_workers} workers — correctness verified, speedup "
                   f"gate requires >= {top_workers} cores")
             return 0
-        if achieved < min_speedup:
-            print(f"\nFAIL: {achieved:.1f}x speedup at {top_workers} workers "
-                  f"is below the required {min_speedup:.1f}x")
-            return 1
         print(f"\nOK: morsel-driven tier scales ({achieved:.1f}x at "
               f"{top_workers} workers, identical rows)")
     return 0

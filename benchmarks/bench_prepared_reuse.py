@@ -62,6 +62,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI smoke mode: 5k rows, 20 executions")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required prepared-over-cold speedup")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write a perf-trajectory JSON record to PATH")
     args = parser.parse_args(argv)
     if args.quick:
         args.rows = min(args.rows, 5_000)
@@ -115,9 +117,35 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n{'path':<10} {'total s':>10} {'ms/exec':>10}")
         print(f"{'cold':<10} {cold_seconds:>10.4f} {per_cold:>10.3f}")
         print(f"{'prepared':<10} {prepared_seconds:>10.4f} {per_prepared:>10.3f}")
+        failures: list[str] = []
         if speedup < args.min_speedup:
-            print(f"\nFAIL: prepared reuse speedup {speedup:.1f}x is below the "
-                  f"required {args.min_speedup:.1f}x")
+            failures.append(
+                f"prepared reuse speedup {speedup:.1f}x is below the "
+                f"required {args.min_speedup:.1f}x"
+            )
+        if args.json_path:
+            import json
+
+            record = {
+                "name": "bench_prepared_reuse",
+                "rows": args.rows,
+                "executions": args.executions,
+                "shape": shape.format("?"),
+                "tier": warm.tier,
+                "cold_seconds": cold_seconds,
+                "prepared_seconds": prepared_seconds,
+                "executions_per_sec": (
+                    args.executions / prepared_seconds if prepared_seconds else 0.0
+                ),
+                "speedup_over_cold": speedup,
+                "speedup_gate": args.min_speedup,
+                "ok": not failures,
+                "failures": failures,
+            }
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2)
+        if failures:
+            print(f"\nFAIL: {failures[0]}")
             return 1
         print(f"\nOK: prepared reuse beats per-call specialization "
               f"{speedup:.1f}x (one codegen, identical results)")

@@ -75,6 +75,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI smoke mode: 20k rows, 2 repetitions")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="required vectorized-over-Volcano speedup")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write a perf-trajectory JSON record to PATH")
     args = parser.parse_args(argv)
     if args.quick:
         args.rows = min(args.rows, 20_000)
@@ -109,13 +111,41 @@ def main(argv: list[str] | None = None) -> int:
             speedup = timings["volcano"] / seconds if seconds else float("inf")
             print(f"{name:<12} {seconds:>10.4f} {speedup:>11.1f}x")
 
-        if rows["vectorized"] != rows["volcano"] or rows["codegen"] != rows["volcano"]:
-            print("\nFAIL: tiers disagree on result rows")
-            return 1
         speedup = timings["volcano"] / timings["vectorized"]
+        failures: list[str] = []
+        if rows["vectorized"] != rows["volcano"] or rows["codegen"] != rows["volcano"]:
+            failures.append("tiers disagree on result rows")
         if speedup < args.min_speedup:
-            print(f"\nFAIL: vectorized speedup {speedup:.1f}x is below the "
-                  f"required {args.min_speedup:.1f}x")
+            failures.append(
+                f"vectorized speedup {speedup:.1f}x is below the required "
+                f"{args.min_speedup:.1f}x"
+            )
+        if args.json_path:
+            import json
+
+            result_rows = len(rows["vectorized"])
+            record = {
+                "name": "bench_vectorized_fallback",
+                "rows": args.rows,
+                "query": query,
+                "tiers": {
+                    name: {
+                        "seconds": seconds,
+                        "rows_per_sec": args.rows / seconds if seconds else 0.0,
+                    }
+                    for name, seconds in timings.items()
+                },
+                "output_rows": result_rows,
+                "speedup_over_volcano": speedup,
+                "speedup_gate": args.min_speedup,
+                "ok": not failures,
+                "failures": failures,
+            }
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2)
+        if failures:
+            for failure in failures:
+                print(f"\nFAIL: {failure}")
             return 1
         print(f"\nOK: vectorized tier closes the interpretation-overhead gap "
               f"({speedup:.1f}x over Volcano, identical rows)")

@@ -1,0 +1,144 @@
+"""Run every CI-gated benchmark and record the perf trajectory.
+
+Each gated benchmark is executed as a subprocess (argparse and module state
+stay isolated) with ``--quick`` and a per-benchmark ``--json`` record; the
+records are aggregated into one ``BENCH_results.json`` document::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --json
+
+The aggregate document carries, per benchmark: the gate outcome, wall-clock
+seconds, the benchmark's own metrics (speedups, rows/sec, tier attribution)
+and, at the top level, the commit / Python / platform provenance that makes
+the records comparable across CI runs.  The CI workflow uploads the document
+as an artifact on every push, so the repository's performance trajectory is
+recorded run over run.
+
+Exits non-zero when any gated benchmark fails, after running all of them
+(the artifact still records every outcome).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: Every CI-gated benchmark, in workflow order.
+GATED_BENCHMARKS = [
+    "bench_vectorized_fallback",
+    "bench_parallel_scaling",
+    "bench_prepared_reuse",
+    "bench_orderby_topk",
+    "bench_unnest",
+]
+
+
+def git_commit() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=HERE,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return None
+
+
+def run_benchmark(name: str, quick: bool) -> dict:
+    """Run one benchmark subprocess; returns its trajectory record."""
+    script = os.path.join(HERE, f"{name}.py")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    command = [sys.executable, script, "--json", json_path]
+    if quick:
+        command.append("--quick")
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(HERE, os.pardir, "src"))
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    started = time.perf_counter()
+    completed = subprocess.run(
+        command, capture_output=True, text=True, env=env
+    )
+    elapsed = time.perf_counter() - started
+    record: dict = {
+        "name": name,
+        "ok": completed.returncode == 0,
+        "exit_code": completed.returncode,
+        "wall_seconds": elapsed,
+    }
+    try:
+        with open(json_path, "r", encoding="utf-8") as handle:
+            record["metrics"] = json.load(handle)
+    except (OSError, ValueError):
+        record["metrics"] = None
+    finally:
+        try:
+            os.unlink(json_path)
+        except OSError:
+            pass
+    # Keep the tail of the output: on failure it names the violated gate.
+    tail = (completed.stdout + completed.stderr).strip().splitlines()
+    record["output_tail"] = tail[-8:]
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="pass --quick through to every benchmark")
+    parser.add_argument("--json", dest="json_out", nargs="?",
+                        const="BENCH_results.json", default=None,
+                        help="write the aggregate trajectory record "
+                             "(default path: BENCH_results.json)")
+    parser.add_argument("--only", nargs="+", choices=GATED_BENCHMARKS,
+                        help="run a subset of the gated benchmarks")
+    args = parser.parse_args(argv)
+
+    names = args.only or GATED_BENCHMARKS
+    records = []
+    for name in names:
+        print(f"== {name} {'(--quick)' if args.quick else ''}")
+        record = run_benchmark(name, args.quick)
+        status = "ok" if record["ok"] else f"FAIL (exit {record['exit_code']})"
+        print(f"   {status} in {record['wall_seconds']:.1f}s")
+        if not record["ok"]:
+            for line in record["output_tail"]:
+                print(f"   | {line}")
+        records.append(record)
+
+    document = {
+        "schema": "proteus-bench-trajectory/1",
+        "commit": git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": args.quick,
+        "ok": all(record["ok"] for record in records),
+        "benchmarks": records,
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"\nwrote {args.json_out}")
+
+    failed = [record["name"] for record in records if not record["ok"]]
+    if failed:
+        print(f"\nFAIL: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"\nok: all {len(records)} gated benchmarks hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

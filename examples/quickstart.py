@@ -131,6 +131,26 @@ def main() -> None:
     for stars in (3, 5):
         print(f"  reviews with {stars}+ stars: {good_reviews.execute(stars=stars).scalar()}")
 
+    print("\n== Batch-native unnest: nested JSON stays on the fast tiers ==")
+    # Flattening a nested collection is an offset-vector operation over whole
+    # batches (the plug-in returns per-parent repeat counts; parent columns
+    # broadcast with one np.repeat) — so unnest queries run on the vectorized
+    # tiers, not the tuple-at-a-time interpreter.  ``outer`` keeps products
+    # with no reviews, binding the element to null (one row per such parent).
+    unnest_engine = ProteusEngine(enable_codegen=False)  # showcase the batch tier
+    unnest_engine.register_json("products", paths["products"])
+    inner = unnest_engine.query(
+        "for { p <- products, r <- p.reviews } yield bag (p.product_id, r.stars)"
+    )
+    outer = unnest_engine.query(
+        "for { p <- products, r <- outer p.reviews } yield bag (p.product_id, r.stars)"
+    )
+    reviewless = sum(1 for _, stars in outer.rows if stars is None)
+    print(f"  inner unnest: {len(inner)} review rows   tier={inner.tier} "
+          f"(flattened {inner.profile.unnest_output_rows} elements batch-natively)")
+    print(f"  outer unnest: {len(outer)} rows, {reviewless} products without "
+          f"reviews kept as null rows   tier={outer.tier}")
+
     print("\n== Heterogeneous three-format join (CSV ⋈ JSON ⋈ binary) ==")
     result = engine.query(
         "SELECT SUM(s.amount) FROM sales s "

@@ -76,16 +76,24 @@ Source = DatasetSource | PathSource
 
 @dataclass(frozen=True)
 class Generator:
-    """A generator qualifier: ``var <- source``."""
+    """A generator qualifier: ``var <- source``.
+
+    ``outer`` marks an *outer* path generator (``var <- outer parent.path``):
+    parents whose collection is empty or missing still produce one row, with
+    ``var`` bound to the missing value — the comprehension analogue of a left
+    outer join against the nested collection.
+    """
 
     var: str
     source: Source
+    outer: bool = False
 
     def fingerprint(self) -> tuple:
-        return ("gen", self.var, self.source.fingerprint())
+        return ("gen", self.var, self.source.fingerprint(), self.outer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"{self.var} <- {self.source!r}"
+        arrow = "<- outer" if self.outer else "<-"
+        return f"{self.var} {arrow} {self.source!r}"
 
 
 @dataclass(frozen=True)

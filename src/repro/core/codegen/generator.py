@@ -209,6 +209,11 @@ class CodeGenerator:
         return filtered
 
     def _visit_unnest(self, node: PhysUnnest, ctx: CodegenContext) -> _Buffers:
+        if node.outer:
+            raise CodegenError(
+                "outer unnest is served by the batch-native unnest of the "
+                "vectorized tiers"
+            )
         buffers = self._visit(node.child, ctx)
         source = self._binding_sources.get(node.binding)
         if source is None:

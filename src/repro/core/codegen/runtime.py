@@ -64,6 +64,9 @@ class ExecutionProfile:
     #: Rows that entered a sort kernel (for streaming top-K this counts every
     #: pruned batch, so it can exceed the result size).
     rows_sorted: int = 0
+    #: Rows emitted by batch-native unnest stages (flattened elements plus,
+    #: under outer unnest, one null child row per empty collection).
+    unnest_output_rows: int = 0
 
     def merge(self, other: "ExecutionProfile") -> None:
         self.rows_scanned += other.rows_scanned
@@ -79,6 +82,7 @@ class ExecutionProfile:
         self.morsels_stolen += other.morsels_stolen
         self.sort_strategy = self.sort_strategy or other.sort_strategy
         self.rows_sorted += other.rows_sorted
+        self.unnest_output_rows += other.unnest_output_rows
 
 
 class QueryRuntime:
@@ -220,11 +224,13 @@ class QueryRuntime:
             if entry is not None:
                 buffers = entry.data
                 self.profile.values_from_cache += buffers.count * max(len(element_paths), 1)
+                self.profile.unnest_output_rows += buffers.count
                 return buffers
         buffers = plugin.scan_unnest(
             dataset, collection_path, element_paths, None if full_scan else parent_oids
         )
         self.profile.rows_scanned += buffers.count
+        self.profile.unnest_output_rows += buffers.count
         self.profile.values_extracted += buffers.count * max(len(element_paths), 1)
         if manager is not None and full_scan and \
                 manager.policy.cache_unnest_output and \

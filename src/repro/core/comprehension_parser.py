@@ -88,9 +88,25 @@ class _ComprehensionParser:
         if self.stream.current.kind == IDENT and self.stream.peek().matches(SYMBOL, "<-"):
             var = self.stream.expect(IDENT).value
             self.stream.expect(SYMBOL, "<-")
+            # ``var <- outer parent.path`` keeps parents with empty
+            # collections (outer unnest).  The ``outer`` modifier only makes
+            # sense before a source, so a following IDENT disambiguates it
+            # from a source *named* outer (``x <- outer`` / ``x <- outer.f``).
+            outer = False
+            if (
+                self.stream.current.kind == IDENT
+                and self.stream.current.value.lower() == "outer"
+                and self.stream.peek().kind == IDENT
+            ):
+                self.stream.advance()
+                outer = True
             source = self._parse_source()
+            if outer and not isinstance(source, PathSource):
+                raise self.stream.error(
+                    "the outer modifier applies to path generators only"
+                )
             self.bound_vars.add(var)
-            return Generator(var, source)
+            return Generator(var, source, outer)
         return Filter(self._parse_expression())
 
     def _parse_source(self):

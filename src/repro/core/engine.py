@@ -25,9 +25,11 @@ the paper describes:
      e.g. the binary row format's per-tuple shim, or when the input fits a
      single morsel),
    * **volcano** — shapes the batch interpreters cannot serve (record
-     construction in output columns, outer joins/unnests, null group keys)
-     fall back to the tuple-at-a-time Volcano interpreter, the paper's
-     "static general-purpose engine" baseline.
+     construction in output columns, outer joins, null group keys) fall back
+     to the tuple-at-a-time Volcano interpreter, the paper's "static
+     general-purpose engine" baseline.  Unnests — inner *and* outer, nested
+     collections included — are batch-native: the plug-ins' offset-vector
+     ``scan_unnest_batch`` API keeps them on the fast tiers.
 
    The ablation flags ``enable_codegen``, ``enable_parallel`` and
    ``enable_vectorized`` disable tiers individually (``enable_vectorized``
@@ -644,6 +646,23 @@ class ProteusEngine:
         comprehension = self._to_comprehension(text)
         physical = self._plan(comprehension)
         parts = ["== physical plan ==", physical.pretty()]
+        unnests = [
+            node for node in physical.walk() if isinstance(node, PhysUnnest)
+        ]
+        if unnests:
+            parts.extend(["", "== unnest strategy =="])
+            for node in unnests:
+                mode, why = node.planned_mode()
+                kind = "outer" if node.outer else "inner"
+                parts.append(
+                    f"{node.var} <- {node.binding}.{'.'.join(node.path)} "
+                    f"({kind}): {mode} -- {why}"
+                )
+            parts.append(
+                "(batch-native: parent columns broadcast with one np.repeat "
+                "per batch; outer unnest emits a null child row for empty "
+                "collections)"
+            )
         if isinstance(physical, PhysSort):
             strategy, why = physical.planned_strategy()
             parts.extend(
@@ -1012,8 +1031,14 @@ def _batch_tier_decline(physical: PhysicalPlan) -> str | None:
     for node in physical.walk():
         if isinstance(node, (PhysHashJoin, PhysNestedLoopJoin)) and node.outer:
             return "outer join is served by the Volcano interpreter"
-        if isinstance(node, PhysUnnest) and node.outer:
-            return "outer unnest is served by the Volcano interpreter"
+        if isinstance(node, PhysUnnest) and node.outer and node.predicate is not None:
+            # The planner never pushes a predicate into an outer unnest;
+            # hand-built plans with one keep Volcano's matched-element
+            # semantics.
+            return (
+                "outer unnest with an element predicate is served by the "
+                "Volcano interpreter"
+            )
     if isinstance(physical, PhysNest):
         try:
             collect_nest_aggregates(physical)
@@ -1049,6 +1074,7 @@ def _copy_pipeline_counters(profile: ExecutionProfile, counters) -> None:
     profile.groups_built = counters.groups_built
     profile.output_rows = counters.output_rows
     profile.rows_sorted = counters.rows_sorted
+    profile.unnest_output_rows = counters.unnest_output_rows
 
 
 def _output_names(physical: PhysicalPlan) -> list[str]:

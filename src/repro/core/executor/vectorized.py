@@ -17,8 +17,11 @@ of per-tuple dict environments.  The plan is first lowered by
   mask,
 * :class:`HashJoinStage` holds the materialized build side and one radix
   table and probes it batch-at-a-time,
-* :class:`UnnestStage` flattens nested collections through the plug-in's
-  ``scan_unnest``,
+* :class:`UnnestStage` flattens nested collections batch-natively through the
+  plug-in's ``scan_unnest_batch`` offset-vector API (one ``np.repeat``
+  broadcast of the parent columns per batch; outer unnest emits null child
+  rows for empty collections, and nested-in-nested flattens materialized
+  collection columns in memory),
 * grouping concatenates key/argument columns and reduces them with the radix
   grouping kernel (``np.unique`` + segmented reductions).
 
@@ -45,9 +48,10 @@ columns or NaN inside float columns (the JSON plug-in's encoding of absent
 numeric fields).
 
 Shapes this tier does not cover (record construction in output columns, outer
-joins/unnests, grouping on keys containing nulls, group-by output columns
-that are neither keys nor aggregates) raise :class:`VectorizationError`, and
-the engine falls back to the Volcano interpreter.
+joins, grouping on keys containing nulls, group-by output columns that are
+neither keys nor aggregates) raise :class:`VectorizationError`, and the
+engine falls back to the Volcano interpreter.  Unnests — inner and outer —
+are covered batch-natively.
 """
 
 from __future__ import annotations
@@ -99,7 +103,7 @@ from repro.core.sort import (
 )
 from repro.core.types import python_value as _python_value
 from repro.errors import ExecutionError, PluginError, VectorizationError
-from repro.plugins.base import FieldPath, InputPlugin
+from repro.plugins.base import FieldPath, InputPlugin, flatten_collections
 from repro.storage.catalog import Catalog, Dataset
 
 DEFAULT_BATCH_SIZE = 4096
@@ -304,6 +308,7 @@ class PipelineCounters:
     groups_built: int = 0
     output_rows: int = 0
     rows_sorted: int = 0
+    unnest_output_rows: int = 0
 
     def merge(self, other: "PipelineCounters") -> None:
         self.rows_scanned += other.rows_scanned
@@ -315,6 +320,7 @@ class PipelineCounters:
         self.groups_built += other.groups_built
         self.output_rows += other.output_rows
         self.rows_sorted += other.rows_sorted
+        self.unnest_output_rows += other.unnest_output_rows
 
 
 # ---------------------------------------------------------------------------
@@ -523,40 +529,81 @@ class SelectStage:
 
 
 class UnnestStage:
-    """Flatten a nested collection of the parent binding into each batch."""
+    """Flatten a nested collection of the parent binding into each batch.
+
+    Batch-native: the plug-in's ``scan_unnest_batch`` returns flattened
+    element buffers plus one repeat count per parent, and the parent columns
+    are broadcast with a single ``np.repeat`` per batch — no per-parent
+    round-trips.  Two source modes:
+
+    * **scan-backed** (``plugin`` is set) — the parent binding's OIDs address
+      the raw source directly; the plug-in flattens with its native
+      offset-vector implementation (or the generic per-parent fallback).
+    * **column-backed** (``plugin`` is ``None``) — the parent binding is
+      itself an unnest variable (nested-in-nested); the collection was
+      materialized as an object column by the parent stage and is flattened
+      in memory by :func:`repro.plugins.base.flatten_collections`.
+
+    Outer unnest emits one null child row for parents whose collection is
+    empty or missing, matching the Volcano interpreter.  An outer unnest
+    carrying a pushed-down element predicate is not vectorized (the planner
+    never produces that shape; hand-built plans fall back to Volcano).
+    """
 
     def __init__(
         self,
         plan: PhysUnnest,
-        dataset: Dataset,
-        plugin: InputPlugin,
+        dataset: Dataset | None,
+        plugin: InputPlugin | None,
     ):
         self.binding = plan.binding
         self.path = plan.path
         self.var = plan.var
         self.element_paths = [tuple(path) for path in plan.element_paths]
         self.predicate = plan.predicate
+        self.outer = plan.outer
         self.dataset = dataset
         self.plugin = plugin
+        if self.outer and self.predicate is not None:
+            raise VectorizationError(
+                "outer unnest with an element predicate is served by the "
+                "Volcano interpreter"
+            )
 
     def apply(self, batch: Batch, counters: PipelineCounters) -> Batch | None:
-        parent_oids = batch.oids.get(self.binding)
-        if parent_oids is None:
-            raise VectorizationError(
-                f"no OID column for unnest binding {self.binding!r}"
-            )
         try:
-            buffers = self.plugin.scan_unnest(
-                self.dataset, self.path, self.element_paths, parent_oids
-            )
+            if self.plugin is not None:
+                parent_oids = batch.oids.get(self.binding)
+                if parent_oids is None:
+                    raise VectorizationError(
+                        f"no OID column for unnest binding {self.binding!r}"
+                    )
+                buffers = self.plugin.scan_unnest_batch(
+                    self.dataset,
+                    self.path,
+                    self.element_paths,
+                    parent_oids,
+                    outer=self.outer,
+                )
+            else:
+                collection = batch.columns.get((self.binding, self.path))
+                if collection is None:
+                    raise VectorizationError(
+                        f"no materialized collection column for "
+                        f"{self.binding!r}.{'.'.join(self.path)}"
+                    )
+                buffers = flatten_collections(
+                    collection, self.element_paths, outer=self.outer
+                )
         except PluginError as exc:
             raise VectorizationError(str(exc)) from exc
         if buffers.count == 0:
             return None
-        flattened = batch.take(buffers.parent_positions)
+        flattened = batch.take(buffers.parent_positions())
         for path in self.element_paths:
             flattened.columns[(self.var, path)] = buffers.column(path)
         counters.rows_scanned += buffers.count
+        counters.unnest_output_rows += buffers.count
         if self.predicate is not None:
             return _apply_predicate(flattened, self.predicate)
         return flattened
@@ -700,11 +747,13 @@ class PipelineCompiler:
             pipeline.stages.append(SelectStage(plan.predicate))
             return pipeline
         if isinstance(plan, PhysUnnest):
-            if plan.outer:
-                raise VectorizationError(
-                    "outer unnest is served by the Volcano interpreter"
-                )
-            dataset, plugin = self._scan_source(plan, plan.binding)
+            try:
+                dataset, plugin = self._scan_source(plan, plan.binding)
+            except VectorizationError:
+                # The parent binding is itself an unnest variable
+                # (nested-in-nested): the collection travels as a
+                # materialized object column instead of plug-in OIDs.
+                dataset = plugin = None
             pipeline = self.compile(plan.child)
             pipeline.stages.append(UnnestStage(plan, dataset, plugin))
             return pipeline

@@ -67,6 +67,10 @@ class Planner:
         self.statistics = statistics
         self.cache_plugin = cache_plugin
         self.enable_join_reordering = enable_join_reordering
+        #: Per-plan() state: unnest variable -> nested collection paths its
+        #: unnest must materialize as element columns (nested-in-nested).
+        self._nested_collection_paths: dict[str, set[FieldPath]] = {}
+        self._unnested_bindings: set[str] = set()
 
     # -- entry point -------------------------------------------------------------
 
@@ -100,6 +104,19 @@ class Planner:
             self._unnested_bindings = {
                 node.binding for node in logical.walk() if isinstance(node, Unnest)
             }
+            # Nested-in-nested: when the parent of an unnest is itself an
+            # unnest variable, the inner collection cannot be reached through
+            # plug-in OIDs — the parent unnest must materialize it as an
+            # element column so the batch tiers can flatten it in memory.
+            unnest_vars = {
+                node.var for node in logical.walk() if isinstance(node, Unnest)
+            }
+            self._nested_collection_paths: dict[str, set[FieldPath]] = {}
+            for node in logical.walk():
+                if isinstance(node, Unnest) and node.binding in unnest_vars:
+                    self._nested_collection_paths.setdefault(
+                        node.binding, set()
+                    ).add(tuple(node.path))
             physical = self._convert(logical, required, binding_datasets)
         finally:
             self.statistics.parameter_values = None
@@ -208,7 +225,10 @@ class Planner:
         if isinstance(node, Join):
             return self._convert_join(node, required, binding_datasets)
         if isinstance(node, Unnest):
-            element_paths = sorted(required.get(node.var, set()))
+            element_paths = sorted(
+                required.get(node.var, set())
+                | self._nested_collection_paths.get(node.var, set())
+            )
             return PhysUnnest(
                 node.binding,
                 node.path,
@@ -238,7 +258,7 @@ class Planner:
         if (
             self.cache_plugin is not None
             and paths
-            and node.binding not in getattr(self, "_unnested_bindings", set())
+            and node.binding not in self._unnested_bindings
             and self.cache_plugin.can_serve(node.dataset, paths)
         ):
             access_path = "cache"

@@ -7,7 +7,11 @@ pool:
 * the driving scan is split into batch-aligned :class:`Morsel` row ranges
   through the splittable ``InputPlugin.scan_batch_ranges`` API,
 * every worker runs the **same** immutable pipeline object over whichever
-  morsels it obtains from the shared work-stealing queue,
+  morsels it obtains from the shared work-stealing queue — batch-native
+  unnest stages included: each worker flattens its own morsels' nested
+  collections through the plug-in's offset-vector ``scan_unnest_batch``
+  (inner and outer), and the morsel-ordered merge keeps the flattened row
+  order identical to the serial tier's,
 * join build sides are themselves materialized morsel-parallel, and their
   radix tables are built partition-parallel (each of the ``2^bits``
   partitions is sort-clustered by a worker),

@@ -144,11 +144,38 @@ class PhysUnnest(PhysicalPlan):
             self.child.fingerprint(),
         )
 
+    def planned_mode(self) -> tuple[str, str]:
+        """(mode, why) for the batch tiers' batch-native unnest execution.
+
+        ``offset-vector`` — the parent binding is scan-backed, so the plug-in
+        flattens through ``scan_unnest_batch`` (per-parent repeat counts, one
+        ``np.repeat`` parent broadcast per batch).  ``column-backed`` — the
+        parent is itself an unnest variable (nested-in-nested); the collection
+        column materialized by the parent unnest is flattened in memory.
+        """
+        scan_backed = any(
+            isinstance(node, PhysScan) and node.binding == self.binding
+            for node in self.child.walk()
+        )
+        if scan_backed:
+            return (
+                "offset-vector",
+                "plug-in scan_unnest_batch returns flattened element buffers "
+                "plus per-parent repeat counts",
+            )
+        return (
+            "column-backed",
+            "collection column materialized by the parent unnest is "
+            "flattened in memory",
+        )
+
     def describe(self) -> str:
         name = "OuterUnnest" if self.outer else "Unnest"
         fields = ", ".join(".".join(p) for p in self.element_paths) or "<value>"
+        mode, _ = self.planned_mode()
         return (
             f"{name}({self.var} <- {self.binding}.{'.'.join(self.path)}: {fields})"
+            f" [{mode}]"
         )
 
 

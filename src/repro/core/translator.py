@@ -63,7 +63,9 @@ def _translate_generator(generator: Generator, plan: LogicalPlan | None) -> Logi
                 f"path generator {generator!r} references binding "
                 f"{source.binding!r} which is not produced by the plan so far"
             )
-        return Unnest(source.binding, source.path, generator.var, plan)
+        return Unnest(
+            source.binding, source.path, generator.var, plan, outer=generator.outer
+        )
     raise TranslationError(f"unknown generator source {source!r}")
 
 

@@ -140,7 +140,9 @@ def dig_path(value: object, path: Sequence[str]) -> object:
     attributes (``count``, ``items``, ...) must not resolve to bound
     methods."""
     for step in path:
-        if isinstance(value, Mapping):
+        if type(value) is dict:  # fast path: json/tuple data is plain dicts
+            value = value.get(step)
+        elif isinstance(value, Mapping):
             value = value.get(step)
         else:
             return None

@@ -92,6 +92,37 @@ class UnnestBuffers:
 
 
 @dataclass
+class UnnestBatch:
+    """Offset-vector output of a *batch-native* unnest.
+
+    Instead of per-element parent positions, the batch API describes the
+    flattening as one repeat count per parent: ``repeats[i]`` is how many
+    output rows parent ``i`` (of the ``parent_oids`` passed in) contributes.
+    Parent columns are then broadcast with a single ``np.repeat`` per batch —
+    no per-parent round-trips.  Under *outer* unnest a parent whose collection
+    is empty or missing contributes exactly one row whose element columns hold
+    the missing value (``None`` / NaN), mirroring the Volcano interpreter's
+    null child row.
+    """
+
+    count: int
+    #: int64, one entry per requested parent; ``repeats.sum() == count``.
+    repeats: np.ndarray
+    columns: dict[FieldPath, np.ndarray] = field(default_factory=dict)
+
+    def column(self, path: FieldPath) -> np.ndarray:
+        try:
+            return self.columns[path]
+        except KeyError as exc:
+            raise PluginError(f"unnest did not materialize field {'.'.join(path)!r}") from exc
+
+    def parent_positions(self) -> np.ndarray:
+        """Per-element parent positions (the legacy ``UnnestBuffers`` shape),
+        derived from the repeat counts with one vectorized ``np.repeat``."""
+        return np.repeat(np.arange(len(self.repeats), dtype=np.int64), self.repeats)
+
+
+@dataclass
 class UnnestState:
     """Iterator state for the tuple-at-a-time unnest API."""
 
@@ -163,6 +194,55 @@ class InputPlugin(ABC):
         raise PluginError(
             f"format {self.format_name!r} does not contain nested collections"
         )
+
+    def scan_unnest_batch(
+        self,
+        dataset: Dataset,
+        collection_path: FieldPath,
+        element_paths: Sequence[FieldPath],
+        parent_oids: np.ndarray,
+        outer: bool = False,
+    ) -> UnnestBatch:
+        """Unnest a nested collection for a batch of parents at once.
+
+        Returns flattened element buffers plus one repeat count per parent
+        (:class:`UnnestBatch`), which is what lets the batch executors
+        broadcast parent columns with a single ``np.repeat`` per batch.  With
+        ``outer=True`` parents whose collection is empty or missing emit one
+        null child row (repeat count 1, element values missing).
+
+        The default implementation is the *per-parent round-trip* path: one
+        pass through the Table-2 iterator protocol (``unnest_init`` /
+        ``unnest_has_next`` / ``unnest_get_next``) per parent OID — correct
+        for every plug-in that can navigate to the collection, but paying the
+        per-parent (and per-element) interpretation cost the paper's §5
+        measures.  Formats with structural indexes override it with a native
+        offset-vector implementation (see ``JsonPlugin.scan_unnest_batch``);
+        ``benchmarks/bench_unnest.py`` gates the native path >= 5x over this
+        fallback.
+        """
+        element_paths = [tuple(path) for path in element_paths]
+        repeats = np.zeros(len(parent_oids), dtype=np.int64)
+        values: dict[FieldPath, list] = {path: [] for path in element_paths}
+        total = 0
+        for slot, oid in enumerate(parent_oids):
+            state = self.unnest_init(dataset, int(oid), collection_path)
+            emitted = 0
+            while self.unnest_has_next(state):
+                element = self.unnest_get_next(state)
+                emitted += 1
+                for path in element_paths:
+                    values[path].append(dig_path(element, path))
+            if emitted == 0 and outer:
+                emitted = 1
+                for path in element_paths:
+                    values[path].append(None)
+            repeats[slot] = emitted
+            total += emitted
+        batch = UnnestBatch(count=total, repeats=repeats)
+        for path in element_paths:
+            batch.columns[path] = values_to_array(values[path])
+        return batch
 
     def scan_batches(
         self,
@@ -338,6 +418,43 @@ def require_flat_path(path: FieldPath) -> str:
             f"flat formats have no nested fields; got path {'.'.join(path)!r}"
         )
     return path[0]
+
+
+def flatten_collections(
+    collections: Sequence, element_paths: Sequence[FieldPath], outer: bool = False
+) -> UnnestBatch:
+    """Flatten already-materialized collection values into an
+    :class:`UnnestBatch`.
+
+    ``collections`` holds one Python collection (list/tuple), or ``None``,
+    per parent — e.g. an object column a previous unnest materialized.  This
+    is the offset-vector kernel behind *column-backed* unnest (nested
+    collections inside already-unnested elements), shared so every caller
+    agrees on outer-unnest null rows and on the "not a collection" error.
+    """
+    element_paths = [tuple(path) for path in element_paths]
+    repeats = np.zeros(len(collections), dtype=np.int64)
+    values: dict[FieldPath, list] = {path: [] for path in element_paths}
+    total = 0
+    for slot, elements in enumerate(collections):
+        if elements is None:
+            elements = ()
+        elif not isinstance(elements, (list, tuple)):
+            raise PluginError("unnest input is not a nested collection")
+        if elements:
+            repeats[slot] = len(elements)
+            total += len(elements)
+            for path in element_paths:
+                values[path].extend(dig_path(element, path) for element in elements)
+        elif outer:
+            repeats[slot] = 1
+            total += 1
+            for path in element_paths:
+                values[path].append(None)
+    batch = UnnestBatch(count=total, repeats=repeats)
+    for path in element_paths:
+        batch.columns[path] = values_to_array(values[path])
+    return batch
 
 
 def values_to_array(values: list) -> np.ndarray:

@@ -17,9 +17,11 @@ the array spans.
 from __future__ import annotations
 
 import json
+import operator
 import threading
 import time
 from dataclasses import dataclass
+from itertools import chain
 from typing import Any, Iterator, Sequence
 
 import numpy as np
@@ -30,6 +32,7 @@ from repro.plugins.base import (
     FieldPath,
     InputPlugin,
     ScanBuffers,
+    UnnestBatch,
     UnnestBuffers,
     dig_path as _dig,
 )
@@ -296,6 +299,97 @@ class JsonPlugin(InputPlugin):
                 return floats.astype(np.int64)
         return floats
 
+    def scan_unnest_batch(
+        self,
+        dataset: Dataset,
+        collection_path: FieldPath,
+        element_paths: Sequence[FieldPath],
+        parent_oids: np.ndarray,
+        outer: bool = False,
+    ) -> UnnestBatch:
+        """Batch-native unnest: one offset-vector pass over the parent batch.
+
+        The structural index resolves every requested parent's array span in
+        one vectorized lookup (``column_spans``) where the schema is fixed;
+        only the array spans themselves are parsed.  Flattened element values
+        are collected once per element path and converted in one bulk
+        ``_to_array`` call — no per-parent buffers, no per-element Python
+        round-trips through the Table-2 iterator protocol.
+        """
+        state = self._state(dataset)
+        data = state.data
+        index = state.index
+        key = ".".join(collection_path)
+        element_paths = [tuple(path) for path in element_paths]
+        num_parents = len(parent_oids)
+        spans = index.column_spans(key, np.asarray(parent_oids, dtype=np.int64))
+        if spans is not None:
+            # Fixed-schema fast path: the span triple of every parent comes
+            # from three dense array gathers; present/absent/null collections
+            # are classified with vectorized masks.
+            starts, ends, types = spans
+            present = (starts >= 0) & (types != TYPE_NULL)
+            if not np.all(types[present] == TYPE_ARRAY):
+                raise PluginError(f"field {key!r} is not a nested collection")
+            present_slots = np.nonzero(present)[0]
+            start_list = starts[present_slots].tolist()
+            end_list = ends[present_slots].tolist()
+        else:
+            present_slots_list: list[int] = []
+            start_list = []
+            end_list = []
+            for slot, position in enumerate(parent_oids):
+                span = index.field_span(int(position), key)
+                if span is None:
+                    continue
+                start, end, type_code = span
+                if type_code == TYPE_NULL:
+                    continue
+                if type_code != TYPE_ARRAY:
+                    raise PluginError(f"field {key!r} is not a nested collection")
+                present_slots_list.append(slot)
+                start_list.append(start)
+                end_list.append(end)
+            present_slots = np.asarray(present_slots_list, dtype=np.int64)
+        # Slice every present array span (C-level slice objects) and parse
+        # them all with ONE ``json.loads`` of the joined spans: the
+        # per-parent decoder round-trip is the dominant cost of the
+        # per-parent path.
+        chunks = map(data.__getitem__, map(slice, start_list, end_list))
+        joined = b"[" + b",".join(chunks) + b"]"
+        parsed = json.loads(joined) if len(present_slots) else []
+        collections = np.empty(num_parents, dtype=object)
+        collections.fill(())
+        if len(parsed):
+            scattered = np.empty(len(parsed), dtype=object)
+            scattered[:] = parsed
+            collections[present_slots] = scattered
+        collections = collections.tolist()
+        if outer:
+            # The null child row an outer unnest emits for an empty or
+            # missing collection: one None element.
+            collections = [
+                elements if elements else (None,) for elements in collections
+            ]
+        # Offset vector + one flattened element list, both built C-side.
+        repeats = np.fromiter(
+            map(len, collections), dtype=np.int64, count=len(collections)
+        )
+        flat = list(chain.from_iterable(collections))
+        batch = UnnestBatch(count=len(flat), repeats=repeats)
+        for path in element_paths:
+            values = _extract_element_values(flat, path)
+            batch.columns[path] = _to_array(
+                values, self._element_type_name(dataset, collection_path, path)
+            )
+        return batch
+
+    #: Parents flattened per ``scan_unnest_batch`` call when ``scan_unnest``
+    #: covers a whole dataset: bounds peak memory (joined spans + parsed
+    #: element dicts are alive per chunk only, like the batch tiers' 4096-
+    #: parent batches) while keeping the per-call overhead amortized.
+    _UNNEST_CHUNK_PARENTS = 65536
+
     def scan_unnest(
         self,
         dataset: Dataset,
@@ -303,37 +397,38 @@ class JsonPlugin(InputPlugin):
         element_paths: Sequence[FieldPath],
         parent_oids: np.ndarray | None = None,
     ) -> UnnestBuffers:
-        state = self._state(dataset)
-        data = state.data
-        index = state.index
-        key = ".".join(collection_path)
-        positions = (
-            range(index.num_objects) if parent_oids is None else (int(x) for x in parent_oids)
-        )
-        parent_positions: list[int] = []
-        columns: dict[FieldPath, list] = {path: [] for path in element_paths}
-        for slot, position in enumerate(positions):
-            span = index.field_span(position, key)
-            if span is None:
-                continue
-            start, end, type_code = span
-            if type_code != TYPE_ARRAY:
-                raise PluginError(f"field {key!r} is not a nested collection")
-            elements = json.loads(data[start:end])
-            for element in elements:
-                parent_positions.append(slot)
-                for path in element_paths:
-                    columns[path].append(_dig(element, path))
-        element_types = {
-            path: self._element_type_name(dataset, collection_path, path)
-            for path in element_paths
-        }
+        if parent_oids is None:
+            count = self._state(dataset).index.num_objects
+            parent_oids = np.arange(count, dtype=np.int64)
+        element_paths = [tuple(path) for path in element_paths]
+        chunks = [
+            self.scan_unnest_batch(
+                dataset,
+                collection_path,
+                element_paths,
+                parent_oids[start : start + self._UNNEST_CHUNK_PARENTS],
+            )
+            for start in range(0, len(parent_oids), self._UNNEST_CHUNK_PARENTS)
+        ] or [
+            self.scan_unnest_batch(
+                dataset, collection_path, element_paths, parent_oids
+            )
+        ]
+        positions = [chunk.parent_positions() for chunk in chunks]
+        for index, offset in enumerate(
+            range(0, len(parent_oids), self._UNNEST_CHUNK_PARENTS)
+        ):
+            positions[index] += offset
         buffers = UnnestBuffers(
-            count=len(parent_positions),
-            parent_positions=np.asarray(parent_positions, dtype=np.int64),
+            count=sum(chunk.count for chunk in chunks),
+            parent_positions=(
+                np.concatenate(positions) if positions else np.zeros(0, np.int64)
+            ),
         )
         for path in element_paths:
-            buffers.columns[path] = _to_array(columns[path], element_types[path])
+            buffers.columns[path] = _concat_columns(
+                [chunk.column(path) for chunk in chunks]
+            )
         return buffers
 
     # -- tuple-at-a-time access -------------------------------------------------------
@@ -432,6 +527,41 @@ class JsonPlugin(InputPlugin):
 # ---------------------------------------------------------------------------
 
 
+def _concat_columns(parts: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-chunk column buffers.  A chunk-local missing value may
+    have demoted one chunk to an object (or NaN-float) buffer; concatenation
+    must then widen the whole column exactly as a single-shot conversion
+    would, so an explicit object merge avoids NumPy promoting to strings."""
+    if len(parts) == 1:
+        return parts[0]
+    if any(part.dtype == object for part in parts):
+        merged = np.empty(sum(len(part) for part in parts), dtype=object)
+        position = 0
+        for part in parts:
+            merged[position : position + len(part)] = part
+            position += len(part)
+        return merged
+    return np.concatenate(parts)
+
+
+def _extract_element_values(flat: list, path: FieldPath) -> list:
+    """One element field, gathered across a flattened element list.
+
+    The hot path is an ``operator.itemgetter`` map (C-level) that succeeds
+    whenever every element is a dict carrying the field; schema-flexible
+    inputs (missing fields, scalar or null elements) fall back to the shared
+    ``dig_path`` rule.
+    """
+    if not path:
+        return list(flat)
+    if len(path) == 1:
+        try:
+            return list(map(operator.itemgetter(path[0]), flat))
+        except (KeyError, TypeError, IndexError):
+            pass
+    return [_dig(element, path) for element in flat]
+
+
 def _convert_span(data: bytes, start: int, end: int, type_code: int) -> Any:
     text = data[start:end]
     if type_code == TYPE_NUMBER:
@@ -463,6 +593,12 @@ def _to_array(values: list, dtype_name: str) -> np.ndarray:
     flexibility must never fail a scan)."""
     try:
         if dtype_name in ("int", "date"):
+            try:
+                # Clean integer columns convert C-side in one shot; None or
+                # out-of-range values raise and take the per-value path.
+                return np.asarray(values, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                pass
             if any(v is None for v in values):
                 if any(
                     v is not None and abs(int(v)) >= 2**53 for v in values
@@ -477,10 +613,24 @@ def _to_array(values: list, dtype_name: str) -> np.ndarray:
                 )
             return np.asarray([int(v) for v in values], dtype=np.int64)
         if dtype_name == "float":
+            try:
+                # NumPy converts None to NaN for float dtypes, which is
+                # exactly this engine's missing-value encoding.
+                return np.asarray(values, dtype=np.float64)
+            except (TypeError, ValueError, OverflowError):
+                pass
             return np.asarray(
                 [np.nan if v is None else float(v) for v in values], dtype=np.float64
             )
         if dtype_name == "bool":
+            if any(v is None for v in values):
+                # A missing boolean must stay missing: ``bool(None)`` would
+                # materialize as False and make predicates / NULLS LAST sorts
+                # / aggregates diverge from the tuple-at-a-time tier.  Object
+                # buffers carry None through ``types.is_missing``.
+                array = np.empty(len(values), dtype=object)
+                array[:] = [None if v is None else bool(v) for v in values]
+                return array
             return np.asarray([bool(v) for v in values], dtype=np.bool_)
     except (TypeError, ValueError, OverflowError):
         pass
