@@ -37,6 +37,7 @@ GATED_BENCHMARKS = [
     "bench_prepared_reuse",
     "bench_orderby_topk",
     "bench_unnest",
+    "bench_static_analysis",
 ]
 
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro import ProteusEngine
 from repro.core import types as t
+from repro.errors import ProteusError
 from repro.storage.binary_format import write_column_table
 
 
@@ -222,6 +223,47 @@ def main() -> None:
     for line in explanation.splitlines():
         if line.startswith("Sort(") or line.startswith("topk:"):
             print(f"  explain: {line}")
+
+    print("\n== Static analysis: prepare-time schema, verdicts and typed errors ==")
+    # prepare() runs a static analyzer over the physical plan.  It infers the
+    # output schema (dtype + nullability), computes one verdict per execution
+    # tier — the first serving verdict is the tier the cascade will pick, and
+    # every decline carries a machine-readable TIER0xx code — and rejects
+    # structurally broken queries with TYP0xx-coded errors *before* any data
+    # is touched.  The same verdicts appear in explain()'s tier-cascade
+    # section and, after execution, in profile.tier_decline_reasons (where
+    # runtime demotions are recorded under TIER009).
+    pq = engine.prepare(
+        "SELECT vendor.country AS country, COUNT(*) AS n "
+        "FROM products GROUP BY vendor.country"
+    )
+    analysis = pq.analysis
+    print(f"  predicted tier: {analysis.predicted_tier}")
+    for info in analysis.columns:
+        # Nested record fields are conservatively nullable: only statistics
+        # from engine.analyze() can prove a column never misses.
+        print(f"    {info.render()}")
+    for verdict in analysis.verdicts:
+        if not verdict.serves:
+            print(f"    {verdict.render()}")
+    result = pq.execute()
+    print(f"  observed tier:  {result.tier}")
+    print(f"  declines recorded in the profile: {result.profile.tier_decline_reasons}")
+
+    # Structural errors surface at prepare() with a diagnostic code naming
+    # the dataset and field — not as a crash mid-execution.
+    try:
+        engine.prepare("SELECT vendor.nosuch AS oops FROM products")
+    except ProteusError as exc:
+        print(f"  prepare-time type error [{exc.code}]: {exc}")
+
+    # engine.analyze() collects per-field null counts; columns observed to
+    # never miss become nullability hints that let the sort kernels and the
+    # batch aggregators skip their missing-value scans entirely.
+    engine.analyze("sales")
+    hinted = engine.prepare("SELECT sale_id, amount FROM sales ORDER BY amount DESC")
+    print(f"  proven non-null after analyze('sales'): "
+          f"{sorted(hinted.analysis.hints.non_null_columns)}")
 
 
 if __name__ == "__main__":

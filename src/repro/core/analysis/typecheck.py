@@ -1,0 +1,432 @@
+"""Prepare-time type and nullability inference over physical plans.
+
+The walker propagates dtype + nullability from the catalog schemas through
+scan -> select -> join -> unnest -> aggregate -> sort, validating every
+field path and operator along the way.  Structural problems raise
+:class:`repro.errors.AnalysisError` with a stable diagnostic code
+(``TYP001`` ...) naming the offending field and dataset — at ``prepare()``
+time, instead of a raw ``KeyError``/``TypeError`` deep inside whichever
+execution tier happened to serve the query.
+
+Nullability rules (the load-bearing half — they gate the executors'
+missing-mask fast paths, so they must be sound, not merely plausible):
+
+* a scan field is non-nullable only when collected statistics *prove* it
+  (``analyze()`` observed zero missing values) — declared schemas are never
+  verified against the file, so ``Field.nullable=False`` alone is not
+  proof; unnest-element fields and fields of an *outer* unnest variable are
+  always treated as nullable (absent collections emit a ``None`` element);
+* ``/`` and ``%`` results are always nullable: a zero divisor yields
+  NaN — the engine's missing encoding — regardless of operand nullability;
+* ``min``/``max``/``avg`` over a global reduction are nullable (the input
+  may filter down to zero rows); per group they inherit the argument's
+  nullability (every group has at least one row);
+* ``count``/``sum``/``and``/``or`` are never missing (their monoid zeros
+  are concrete values);
+* anything involving an unbound query parameter is conservatively nullable
+  with unknown dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import types as t
+from repro.core.expressions import (
+    AggregateCall,
+    BinaryOp,
+    Expression,
+    FieldRef,
+    IfThenElse,
+    Literal,
+    PARAMS_BINDING,
+    Parameter,
+    RecordConstruct,
+    UnaryOp,
+    iter_aggregates,
+    to_string,
+)
+from repro.core.physical import (
+    PhysNest,
+    PhysReduce,
+    PhysScan,
+    PhysUnnest,
+    PhysicalPlan,
+    expressions_of,
+    unwrap_sort,
+)
+from repro.errors import AnalysisError
+from repro.storage.catalog import Catalog
+
+from repro.core.analysis.model import (
+    ColumnInfo,
+    NullabilityHints,
+    SchemaAnalysis,
+    TYP_BAD_AGGREGATE,
+    TYP_BAD_ARITHMETIC,
+    TYP_INCOMPARABLE,
+    TYP_NOT_A_COLLECTION,
+    TYP_UNKNOWN_FIELD,
+)
+
+_ORDERING_OPS = ("<", "<=", ">", ">=")
+_COMPARISON_OPS = ("=", "!=") + _ORDERING_OPS
+_LOGICAL_OPS = ("and", "or")
+
+
+@dataclass(frozen=True)
+class _BindingInfo:
+    """What the analyzer knows about one plan binding."""
+
+    #: Dataset the binding (transitively) scans — named in diagnostics.
+    dataset: str
+    #: Record view of the binding's fields.
+    record: t.RecordType
+    #: Element type when the binding is an unnest variable over a collection
+    #: of primitives (the record view wraps it as a synthetic ``value``
+    #: field; an empty field path denotes the element itself).
+    element: t.DataType | None
+    #: True for outer-unnest variables: every field may be missing because
+    #: an absent collection emits one ``None`` element.
+    forced_nullable: bool
+    #: Top-level fields proven free of missing values by collected
+    #: statistics (empty when the dataset was never analyzed, and always
+    #: empty for unnest variables — element data is never profiled).
+    proven_non_null: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class _Inferred:
+    """Inferred shape of one expression: dtype (``None`` while a query
+    parameter leaves it unknown) and whether the value may be missing."""
+
+    dtype: t.DataType | None
+    nullable: bool
+
+
+_UNKNOWN = _Inferred(None, True)
+
+
+def binding_scope(plan: PhysicalPlan, catalog: Catalog) -> dict[str, _BindingInfo]:
+    """Resolve every scan/unnest binding of the plan to its record type.
+
+    ``walk()`` is post-order, so a parent binding is always resolved before
+    the unnest variables that descend from it.
+    """
+    scope: dict[str, _BindingInfo] = {}
+    for node in plan.walk():
+        if isinstance(node, PhysScan):
+            dataset = catalog.get(node.dataset)
+            statistics = dataset.statistics
+            proven = frozenset(
+                field.name
+                for field in dataset.schema.fields
+                if statistics is not None
+                and statistics.proven_non_null(field.name)
+            )
+            scope[node.binding] = _BindingInfo(
+                dataset=node.dataset,
+                record=dataset.schema,
+                element=None,
+                forced_nullable=False,
+                proven_non_null=proven,
+            )
+        elif isinstance(node, PhysUnnest):
+            parent = scope.get(node.binding)
+            if parent is None:
+                raise AnalysisError(
+                    TYP_UNKNOWN_FIELD,
+                    f"unnest references unknown binding {node.binding!r}",
+                    field=".".join(node.path),
+                )
+            collection, _ = _resolve_field(parent, node.binding, node.path)
+            if not isinstance(collection, t.CollectionType):
+                raise AnalysisError(
+                    TYP_NOT_A_COLLECTION,
+                    f"field {'.'.join(node.path)!r} of dataset "
+                    f"{parent.dataset!r} is {collection.name}, not a nested "
+                    f"collection; it cannot be unnested",
+                    dataset=parent.dataset,
+                    field=".".join(node.path),
+                )
+            element = collection.element
+            nullable = node.outer or parent.forced_nullable
+            if isinstance(element, t.RecordType):
+                scope[node.var] = _BindingInfo(
+                    parent.dataset, element, None, nullable
+                )
+            else:
+                scope[node.var] = _BindingInfo(
+                    parent.dataset,
+                    t.RecordType([t.Field("value", element)]),
+                    element,
+                    nullable,
+                )
+    return scope
+
+
+def _resolve_field(
+    info: _BindingInfo, binding: str, path: tuple[str, ...]
+) -> tuple[t.DataType, bool]:
+    """Resolve a field path against a binding; returns (dtype, nullable)."""
+    if not path:
+        if info.element is not None:
+            # A primitive collection element: the data inside the array was
+            # never profiled, so it may always be missing.
+            return info.element, True
+        return info.record, info.forced_nullable
+    current: t.DataType = info.record
+    for depth, step in enumerate(path):
+        if not isinstance(current, t.RecordType):
+            prefix = ".".join(path[:depth])
+            raise AnalysisError(
+                TYP_UNKNOWN_FIELD,
+                f"cannot descend into {current.name} field {prefix!r} of "
+                f"dataset {info.dataset!r} via {step!r} "
+                f"(reference {binding}.{'.'.join(path)})",
+                dataset=info.dataset,
+                field=".".join(path),
+            )
+        if not current.has_field(step):
+            raise AnalysisError(
+                TYP_UNKNOWN_FIELD,
+                f"dataset {info.dataset!r} has no field "
+                f"{'.'.join(path)!r} (reference {binding}.{'.'.join(path)}; "
+                f"available at {step!r}: {current.field_names()})",
+                dataset=info.dataset,
+                field=".".join(path),
+            )
+        resolved = current.field(step)
+        current = resolved.dtype
+    # Nullability is data-proven, never declaration-trusted: plugins do not
+    # verify declared schemas against the file, so only a zero null count
+    # observed by ``analyze()`` (top-level fields only) makes a field
+    # non-nullable here.
+    nullable = (
+        info.forced_nullable
+        or len(path) != 1
+        or path[0] not in info.proven_non_null
+    )
+    return current, nullable
+
+
+class _TypeChecker:
+    """Recursive inference over one expression tree."""
+
+    def __init__(self, scope: dict[str, _BindingInfo], grouped: bool):
+        self.scope = scope
+        #: Inside a Nest head every group has at least one input row, which
+        #: tightens the nullability of min/max/avg.
+        self.grouped = grouped
+
+    def infer(self, expression: Expression) -> _Inferred:
+        if isinstance(expression, Literal):
+            return _Inferred(expression.dtype, t.is_missing(expression.value))
+        if isinstance(expression, Parameter):
+            return _UNKNOWN
+        if isinstance(expression, FieldRef):
+            return self._infer_field(expression)
+        if isinstance(expression, BinaryOp):
+            return self._infer_binary(expression)
+        if isinstance(expression, UnaryOp):
+            return self._infer_unary(expression)
+        if isinstance(expression, IfThenElse):
+            return self._infer_conditional(expression)
+        if isinstance(expression, AggregateCall):
+            return self._infer_aggregate(expression)
+        if isinstance(expression, RecordConstruct):
+            fields = [
+                t.Field(name, self.infer(expr).dtype or t.STRING)
+                for name, expr in expression.fields
+            ]
+            return _Inferred(t.RecordType(fields), False)
+        return _UNKNOWN
+
+    def _infer_field(self, expression: FieldRef) -> _Inferred:
+        if expression.binding == PARAMS_BINDING:
+            return _UNKNOWN
+        info = self.scope.get(expression.binding)
+        if info is None:
+            raise AnalysisError(
+                TYP_UNKNOWN_FIELD,
+                f"reference {to_string(expression)} names unknown binding "
+                f"{expression.binding!r}",
+                field=".".join(expression.path),
+            )
+        dtype, nullable = _resolve_field(info, expression.binding, expression.path)
+        return _Inferred(dtype, nullable)
+
+    def _infer_binary(self, expression: BinaryOp) -> _Inferred:
+        left = self.infer(expression.left)
+        right = self.infer(expression.right)
+        op = expression.op
+        if op in _LOGICAL_OPS:
+            return _Inferred(t.BOOL, left.nullable or right.nullable)
+        if op in _COMPARISON_OPS:
+            self._check_comparison(expression, left, right)
+            # Predicate contexts treat a missing operand as "does not
+            # qualify", but as an *output value* the tiers disagree on
+            # whether the cell is False or missing — stay conservative.
+            return _Inferred(t.BOOL, left.nullable or right.nullable)
+        # Arithmetic.
+        for side in (left, right):
+            if side.dtype is not None and not _numeric_like(side.dtype):
+                raise AnalysisError(
+                    TYP_BAD_ARITHMETIC,
+                    f"arithmetic {op!r} requires numeric operands, got "
+                    f"{_render_type(left)} and {_render_type(right)} in "
+                    f"{to_string(expression)}",
+                )
+        if op in ("/", "%"):
+            # A zero divisor yields NaN — the engine's missing encoding —
+            # so division results are always treated as nullable.
+            dtype = t.FLOAT if op == "/" else _arithmetic_type(left, right)
+            return _Inferred(dtype, True)
+        return _Inferred(
+            _arithmetic_type(left, right), left.nullable or right.nullable
+        )
+
+    def _check_comparison(
+        self, expression: BinaryOp, left: _Inferred, right: _Inferred
+    ) -> None:
+        for side in (left, right):
+            if side.dtype is not None and not side.dtype.is_primitive():
+                raise AnalysisError(
+                    TYP_INCOMPARABLE,
+                    f"cannot compare {side.dtype.name} values in "
+                    f"{to_string(expression)}",
+                )
+        if expression.op not in _ORDERING_OPS:
+            return  # equality over mismatched primitives is simply false
+        if left.dtype is None or right.dtype is None:
+            return
+        if _order_class(left.dtype) != _order_class(right.dtype):
+            raise AnalysisError(
+                TYP_INCOMPARABLE,
+                f"cannot order {left.dtype.name} against {right.dtype.name} "
+                f"in {to_string(expression)}",
+            )
+
+    def _infer_unary(self, expression: UnaryOp) -> _Inferred:
+        operand = self.infer(expression.operand)
+        if expression.op == "not":
+            return _Inferred(t.BOOL, operand.nullable)
+        if operand.dtype is not None and not _numeric_like(operand.dtype):
+            raise AnalysisError(
+                TYP_BAD_ARITHMETIC,
+                f"negation requires a numeric operand, got "
+                f"{operand.dtype.name} in {to_string(expression)}",
+            )
+        return _Inferred(operand.dtype, operand.nullable)
+
+    def _infer_conditional(self, expression: IfThenElse) -> _Inferred:
+        self.infer(expression.condition)
+        then = self.infer(expression.then)
+        otherwise = self.infer(expression.otherwise)
+        if then.dtype is None or otherwise.dtype is None:
+            dtype = None
+        else:
+            dtype = t.merge_types(then.dtype, otherwise.dtype)
+        return _Inferred(dtype, then.nullable or otherwise.nullable)
+
+    def _infer_aggregate(self, expression: AggregateCall) -> _Inferred:
+        if expression.func == "count":
+            if expression.argument is not None:
+                self.infer(expression.argument)
+            return _Inferred(t.INT, False)
+        assert expression.argument is not None
+        argument = self.infer(expression.argument)
+        if expression.func in ("sum", "avg"):
+            if argument.dtype is not None and not _numeric_like(argument.dtype):
+                raise AnalysisError(
+                    TYP_BAD_AGGREGATE,
+                    f"aggregate {expression.func}() requires a numeric "
+                    f"argument, got {argument.dtype.name} in "
+                    f"{to_string(expression)}",
+                )
+        elif argument.dtype is not None and not argument.dtype.is_primitive():
+            raise AnalysisError(
+                TYP_BAD_AGGREGATE,
+                f"aggregate {expression.func}() requires a primitive "
+                f"argument, got {argument.dtype.name} in "
+                f"{to_string(expression)}",
+            )
+        if expression.func == "sum":
+            dtype = t.FLOAT if argument.dtype is t.FLOAT else (
+                t.INT if argument.dtype is not None else None
+            )
+            return _Inferred(dtype, False)
+        if expression.func == "avg":
+            # A global reduction may aggregate zero rows (avg -> NaN); per
+            # group there is at least one row, so a non-null argument keeps
+            # the average non-null.
+            return _Inferred(
+                t.FLOAT, argument.nullable if self.grouped else True
+            )
+        if expression.func in ("and", "or"):
+            return _Inferred(t.BOOL, False)
+        # min / max
+        return _Inferred(
+            argument.dtype, argument.nullable if self.grouped else True
+        )
+
+
+def _numeric_like(dtype: t.DataType) -> bool:
+    """Arithmetic-compatible: numeric types plus bool (Python bools add as
+    0/1 in every execution tier)."""
+    return dtype.is_numeric() or dtype is t.BOOL
+
+
+def _order_class(dtype: t.DataType) -> str:
+    return "str" if dtype is t.STRING else "num"
+
+
+def _arithmetic_type(left: _Inferred, right: _Inferred) -> t.DataType | None:
+    if left.dtype is None or right.dtype is None:
+        return None
+    if t.FLOAT in (left.dtype, right.dtype):
+        return t.FLOAT
+    return t.INT
+
+
+def _render_type(inferred: _Inferred) -> str:
+    return inferred.dtype.name if inferred.dtype is not None else "unknown"
+
+
+def analyze_schema(plan: PhysicalPlan, catalog: Catalog) -> SchemaAnalysis:
+    """Type-check a physical plan and infer its output schema.
+
+    Validates every expression of every operator (raising
+    :class:`AnalysisError` on the first structural problem) and returns the
+    inferred output columns plus the nullability hints the executors'
+    fast paths consume.
+    """
+    scope = binding_scope(plan, catalog)
+    for node in plan.walk():
+        checker = _TypeChecker(scope, grouped=isinstance(node, PhysNest))
+        for expression in expressions_of(node):
+            checker.infer(expression)
+
+    root = unwrap_sort(plan)
+    if not isinstance(root, (PhysReduce, PhysNest)):
+        return SchemaAnalysis(columns=(), hints=NullabilityHints())
+
+    checker = _TypeChecker(scope, grouped=isinstance(root, PhysNest))
+    columns: list[ColumnInfo] = []
+    non_null_aggregates: set[tuple] = set()
+    for column in root.columns:
+        inferred = checker.infer(column.expression)
+        columns.append(ColumnInfo(column.name, inferred.dtype, inferred.nullable))
+        for aggregate in iter_aggregates(column.expression):
+            if aggregate.argument is None:
+                # Bare count(*) reads no values; there is no mask to skip.
+                continue
+            if not checker.infer(aggregate.argument).nullable:
+                non_null_aggregates.add(aggregate.fingerprint())
+    hints = NullabilityHints(
+        non_null_columns=frozenset(
+            info.name for info in columns if not info.nullable
+        ),
+        non_null_aggregate_args=frozenset(non_null_aggregates),
+    )
+    return SchemaAnalysis(columns=tuple(columns), hints=hints)

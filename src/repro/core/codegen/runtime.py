@@ -67,6 +67,15 @@ class ExecutionProfile:
     #: Rows emitted by batch-native unnest stages (flattened elements plus,
     #: under outer unnest, one null child row per empty collection).
     unnest_output_rows: int = 0
+    #: The tier the static plan analyzer predicted would serve this query
+    #: (``None`` for profiles built outside the engine's cascade).
+    predicted_tier: str | None = None
+    #: Why each non-serving tier declined, keyed by tier name; values carry a
+    #: machine-readable code prefix, e.g. ``"[TIER005] outer join is served
+    #: by the Volcano interpreter"``.  Tiers that declined *during* execution
+    #: (data-dependent demotions the static analysis cannot rule out) appear
+    #: with code ``TIER009``.
+    tier_decline_reasons: dict[str, str] = field(default_factory=dict)
 
     def merge(self, other: "ExecutionProfile") -> None:
         self.rows_scanned += other.rows_scanned
@@ -83,6 +92,8 @@ class ExecutionProfile:
         self.sort_strategy = self.sort_strategy or other.sort_strategy
         self.rows_sorted += other.rows_sorted
         self.unnest_output_rows += other.unnest_output_rows
+        self.predicted_tier = self.predicted_tier or other.predicted_tier
+        self.tier_decline_reasons.update(other.tier_decline_reasons)
 
 
 class QueryRuntime:

@@ -76,6 +76,16 @@ from repro.caching.manager import CacheManager
 from repro.caching.policies import CachingPolicy, DefaultCachingPolicy, NoCachingPolicy
 from repro.core import types as t
 from repro.core.types import python_value as _python_value
+from repro.core.analysis import (
+    NullabilityHints,
+    PlanAnalysis,
+    SchemaAnalysis,
+    TIER_RUNTIME_DEMOTION,
+    TIER_VOLCANO,
+    TierVerdict,
+    analyze_schema,
+    tier_verdicts,
+)
 from repro.core.binder import bind_comprehension
 from repro.core.calculus import Comprehension
 from repro.core.codegen.generator import CodeGenerator
@@ -84,29 +94,14 @@ from repro.core.comprehension_parser import parse_comprehension
 from repro.core.executor.vectorized import (
     DEFAULT_BATCH_SIZE,
     VectorizedExecutor,
-    collect_nest_aggregates,
 )
 from repro.core.executor.volcano import VolcanoExecutor
-from repro.core.expressions import (
-    AggregateCall,
-    BinaryOp,
-    Expression,
-    FieldRef,
-    IfThenElse,
-    Literal,
-    Parameter,
-    RecordConstruct,
-    UnaryOp,
-    to_string,
-)
-from repro.core.parallel import ParallelVectorizedExecutor, precheck_driving_scan
+from repro.core.parallel import ParallelVectorizedExecutor
 from repro.core.normalizer import normalize
 from repro.core.optimizer.planner import Planner
 from repro.core.optimizer.statistics import StatisticsManager
 from repro.core.physical import (
-    PhysHashJoin,
     PhysNest,
-    PhysNestedLoopJoin,
     PhysReduce,
     PhysSort,
     PhysUnnest,
@@ -356,6 +351,26 @@ class PreparedQuery:
         strings for ``:name``)."""
         return list(self.parameter_keys)
 
+    @property
+    def analysis(self) -> PlanAnalysis:
+        """The static analysis of this query: inferred output schema
+        (dtype + nullability per column), per-tier capability verdicts and
+        the nullability hints feeding the executors' fast paths.
+
+        Everything here is computed at prepare time — no data is read."""
+        plan = self._plan
+        if plan is None:
+            plan = self._engine._plan_logical(
+                self._logical, comprehension=self.comprehension
+            )
+            self._plan = plan
+        schema = self._engine._analyze(plan)
+        return PlanAnalysis(
+            columns=tuple(schema.columns),
+            verdicts=self._engine._verdicts(plan),
+            hints=schema.hints,
+        )
+
     def execute(self, *args, **named) -> ResultSet:
         """Bind parameter values and execute.
 
@@ -480,6 +495,9 @@ class ProteusEngine:
         self.generator = CodeGenerator(self.catalog, self.plugins, self.cache_plugin)
         self._compiled: dict[tuple, Any] = {}
         self._parsed: dict[str, Comprehension] = {}
+        #: Static-analysis cache keyed by plan fingerprint; entries are
+        #: invalidated with the catalog epoch (schemas may change).
+        self._analyses: dict[tuple, SchemaAnalysis] = {}
         #: Prepared-query cache backing the ``query()`` sugar (keyed by the
         #: stripped query text); outstanding entries survive catalog changes
         #: because every execution re-validates against ``_catalog_epoch``.
@@ -568,6 +586,7 @@ class ProteusEngine:
             self.analyze(name)
         self._parsed.clear()
         self._prepared_cache.clear()
+        self._analyses.clear()
         # Any catalog change invalidates outstanding PreparedQuery objects
         # (their plans may bake stale Dataset objects or, for a brand-new
         # name, resolve unqualified columns differently); they transparently
@@ -589,6 +608,7 @@ class ProteusEngine:
         self._compiled.clear()
         self._parsed.clear()
         self._prepared_cache.clear()
+        self._analyses.clear()
         self._catalog_epoch += 1
 
     def analyze(self, name: str) -> None:
@@ -597,6 +617,7 @@ class ProteusEngine:
         plugin = self.plugins[dataset.format]
         self.catalog.set_statistics(name, plugin.collect_statistics(dataset))
         # Fresh statistics can change join orders; let prepared plans refresh.
+        self._analyses.clear()
         self._catalog_epoch += 1
 
     # ------------------------------------------------------------------------
@@ -645,7 +666,12 @@ class ProteusEngine:
         query, without executing it."""
         comprehension = self._to_comprehension(text)
         physical = self._plan(comprehension)
+        analysis = self._analyze(physical)
+        verdicts = self._verdicts(physical)
         parts = ["== physical plan ==", physical.pretty()]
+        if analysis.columns:
+            parts.extend(["", "== inferred output schema =="])
+            parts.extend(f"  {info.render()}" for info in analysis.columns)
         unnests = [
             node for node in physical.walk() if isinstance(node, PhysUnnest)
         ]
@@ -675,14 +701,17 @@ class ProteusEngine:
                     "parallel tier merges per-morsel sorted runs)",
                 ]
             )
+        codegen_verdict = verdicts[0]
         codegen_reason: str | None = None
         generated = None
-        if not self.enable_codegen:
-            codegen_reason = "disabled (enable_codegen=False)"
+        if not codegen_verdict.serves:
+            codegen_reason = codegen_verdict.reason
         else:
             try:
                 generated = self.generator.generate(unwrap_sort(physical))
             except CodegenError as exc:
+                # Static verdict / generator drift: surface the generator's
+                # own wording rather than hiding the decline.
                 codegen_reason = str(exc)
         if generated is not None:
             parts.extend(["", "== generated code ==", generated.source])
@@ -692,14 +721,19 @@ class ProteusEngine:
                               "tier cascade below)"])
         parts.extend(["", "== tier cascade =="])
         selected = False
-        for tier, reason in self._tier_cascade(physical, codegen_reason):
-            if reason is None and not selected:
-                parts.append(f"{tier}: serves this plan  <- selected")
+        for verdict in verdicts:
+            if verdict.serves and not selected:
+                parts.append(f"{verdict.tier}: serves this plan  <- selected")
                 selected = True
-            elif reason is None:
-                parts.append(f"{tier}: would serve if the tiers above declined")
+            elif verdict.serves:
+                parts.append(
+                    f"{verdict.tier}: would serve if the tiers above declined"
+                )
             else:
-                parts.append(f"{tier}: declines -- {reason}")
+                parts.append(
+                    f"{verdict.tier}: declines -- {verdict.reason} "
+                    f"[{verdict.code}]"
+                )
         parts.append(
             "(note: run-time data conditions, e.g. null join or group keys, "
             "can still demote a batch tier to volcano during execution)"
@@ -751,7 +785,35 @@ class ProteusEngine:
             logical, parameters=parameters, order_by=order_by, limit=limit
         )
         _validate_output_columns(physical)
+        # Static analysis runs at prepare time: unknown fields referenced
+        # through nested paths, mixed-type comparisons and invalid aggregate
+        # inputs surface here as AnalysisError instead of surfacing as raw
+        # KeyErrors (or worse, silently wrong masks) during execution.
+        self._analyze(physical)
         return physical
+
+    def _analyze(self, physical: PhysicalPlan) -> SchemaAnalysis:
+        """Type/nullability analysis of a plan, cached per fingerprint."""
+        fingerprint = physical.fingerprint()
+        cached = self._analyses.get(fingerprint)
+        if cached is None:
+            cached = analyze_schema(physical, self.catalog)
+            self._analyses[fingerprint] = cached
+        return cached
+
+    def _verdicts(self, physical: PhysicalPlan) -> tuple[TierVerdict, ...]:
+        """Static tier-capability verdicts under this engine's configuration."""
+        return tier_verdicts(
+            physical,
+            enable_codegen=self.enable_codegen,
+            enable_vectorized=self.enable_vectorized,
+            enable_parallel=self.enable_parallel,
+            parallel_workers=self.parallel_workers,
+            catalog=self.catalog,
+            plugins=self.plugins,
+            cache_manager=self.cache_manager,
+            batch_size=self.vectorized_batch_size,
+        )
 
     def _plan(
         self, comprehension: Comprehension, parameters: ParamValues | None = None
@@ -802,39 +864,47 @@ class ProteusEngine:
         bound_limit = (
             resolve_limit(sort_plan.limit, params) if sort_plan is not None else None
         )
+        analysis = self._analyze(physical)
+        verdicts = self._verdicts(physical)
+        predicted_tier = next(
+            (v.tier for v in verdicts if v.serves), TIER_VOLCANO
+        )
+        decline_reasons = {
+            v.tier: f"[{v.code}] {v.reason}" for v in verdicts if not v.serves
+        }
         executed: tuple[list[str], dict[str, Any], ExecutionProfile] | None = None
-        if self.enable_codegen:
+        for verdict in verdicts:
+            if not verdict.serves:
+                # Statically declined: the capability table predicts the
+                # executor's own rejection, so skip the attempt entirely.
+                continue
+            if verdict.tier == TIER_VOLCANO:
+                break
             try:
-                executed = self._execute_generated(physical, params)
-            except (CodegenError, VectorizationError):
-                # CodegenError: the generator does not cover the plan shape.
-                # VectorizationError: the columnar kernels rejected the data
-                # (e.g. keys containing nulls) at run time.  The vectorized
-                # tier still gets its attempt — it pre-filters some shapes
-                # the generated code feeds to the kernels raw (e.g. NaN probe
-                # keys against an integer build side).
-                executed = None
-        if (
-            executed is None
-            and self.enable_vectorized
-            and self.enable_parallel
-            and self.parallel_workers > 1
-        ):
-            try:
-                executed = self._execute_parallel(physical, params)
-            except VectorizationError:
-                # The plan or plugin cannot be split into morsels (or the
-                # input fits a single morsel); the serial vectorized tier
-                # gets its attempt next.
-                executed = None
-        if executed is None and self.enable_vectorized:
-            try:
-                executed = self._execute_vectorized(physical, params)
-            except VectorizationError:
-                executed = None
+                if verdict.tier == "codegen":
+                    executed = self._execute_generated(physical, params)
+                elif verdict.tier == "vectorized-parallel":
+                    executed = self._execute_parallel(
+                        physical, params, analysis.hints
+                    )
+                else:
+                    executed = self._execute_vectorized(
+                        physical, params, analysis.hints
+                    )
+                break
+            except (CodegenError, VectorizationError) as exc:
+                # A data-dependent demotion the static analysis cannot rule
+                # out — e.g. null group/join keys, or NaN probe keys against
+                # an integer build side.  Record it so explain()/profile
+                # users see why the observed tier differs from the verdict.
+                decline_reasons[verdict.tier] = (
+                    f"[{TIER_RUNTIME_DEMOTION}] runtime demotion: {exc}"
+                )
         if executed is None:
             executed = self._execute_volcano(physical, params)
         names, columns, profile = executed
+        profile.predicted_tier = predicted_tier
+        profile.tier_decline_reasons = decline_reasons
         length, data = _normalize_result_columns(names, columns)
         if sort_plan is not None and profile.sort_strategy is None:
             # The tier materialized the unsorted output (codegen / volcano /
@@ -842,7 +912,12 @@ class ProteusEngine:
             # columnar sort kernels here, one permutation, no row boxing.
             rows_in = length
             length, data, strategy = sort_columns(
-                names, length, data, sort_plan.keys, bound_limit
+                names,
+                length,
+                data,
+                sort_plan.keys,
+                bound_limit,
+                analysis.hints.non_null_columns,
             )
             if strategy is not None:
                 profile.sort_strategy = strategy
@@ -887,7 +962,10 @@ class ProteusEngine:
         return names, output, runtime.profile
 
     def _execute_parallel(
-        self, physical: PhysicalPlan, params: ParamValues | None = None
+        self,
+        physical: PhysicalPlan,
+        params: ParamValues | None = None,
+        hints: NullabilityHints | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = ParallelVectorizedExecutor(
             self.catalog,
@@ -896,6 +974,7 @@ class ProteusEngine:
             num_workers=self.parallel_workers,
             cache_manager=self.cache_manager,
             params=params,
+            hints=hints,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -910,7 +989,10 @@ class ProteusEngine:
         return names, columns, profile
 
     def _execute_vectorized(
-        self, physical: PhysicalPlan, params: ParamValues | None = None
+        self,
+        physical: PhysicalPlan,
+        params: ParamValues | None = None,
+        hints: NullabilityHints | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VectorizedExecutor(
             self.catalog,
@@ -918,6 +1000,7 @@ class ProteusEngine:
             batch_size=self.vectorized_batch_size,
             cache_manager=self.cache_manager,
             params=params,
+            hints=hints,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -939,47 +1022,6 @@ class ProteusEngine:
         profile.rows_scanned = executor.tuples_processed
         self.last_generated_source = None
         return names, columns, profile
-
-    # -- tier-cascade introspection (explain) ----------------------------------
-
-    def _tier_cascade(
-        self, physical: PhysicalPlan, codegen_reason: str | None
-    ) -> list[tuple[str, str | None]]:
-        """(tier, decline reason or None) for every tier, in cascade order."""
-        physical = unwrap_sort(physical)
-        batch_reason = _batch_tier_decline(physical)
-        if not self.enable_vectorized:
-            parallel_reason: str | None = "disabled (enable_vectorized=False)"
-            vectorized_reason: str | None = "disabled (enable_vectorized=False)"
-        else:
-            vectorized_reason = batch_reason
-            if not self.enable_parallel:
-                parallel_reason = "disabled (enable_parallel=False)"
-            elif self.parallel_workers <= 1:
-                parallel_reason = (
-                    "parallel_workers=1 (engine configured serial)"
-                )
-            elif batch_reason is not None:
-                parallel_reason = batch_reason
-            else:
-                try:
-                    precheck_driving_scan(
-                        physical.children()[0] if physical.children() else physical,
-                        self.catalog,
-                        self.plugins,
-                        self.cache_manager,
-                        self.vectorized_batch_size,
-                        self.parallel_workers,
-                    )
-                    parallel_reason = None
-                except VectorizationError as exc:
-                    parallel_reason = str(exc)
-        return [
-            ("codegen", codegen_reason),
-            ("vectorized-parallel", parallel_reason),
-            ("vectorized", vectorized_reason),
-            ("volcano", None),
-        ]
 
     # ------------------------------------------------------------------------
     # Caching control and introspection
@@ -1003,59 +1045,6 @@ class ProteusEngine:
         if not hasattr(plugin, "index_info"):
             raise ProteusError(f"dataset {name!r} has no structural index")
         return plugin.index_info(dataset)
-
-
-# ---------------------------------------------------------------------------
-# Tier-cascade helpers
-# ---------------------------------------------------------------------------
-
-
-def _batch_supported(expression: Expression) -> bool:
-    """Whether the batch evaluator covers ``expression`` (static mirror of
-    ``evaluate_batch``)."""
-    if isinstance(expression, (Literal, FieldRef, Parameter)):
-        return True
-    if isinstance(expression, (BinaryOp, UnaryOp, IfThenElse)):
-        return all(_batch_supported(child) for child in expression.children())
-    if isinstance(expression, AggregateCall):
-        return expression.argument is None or _batch_supported(expression.argument)
-    if isinstance(expression, RecordConstruct):
-        return False
-    return False
-
-
-def _batch_tier_decline(physical: PhysicalPlan) -> str | None:
-    """Why the batch tiers would reject this plan (``None`` when they serve
-    it) — the static prediction matching the executors' own checks."""
-    physical = unwrap_sort(physical)
-    for node in physical.walk():
-        if isinstance(node, (PhysHashJoin, PhysNestedLoopJoin)) and node.outer:
-            return "outer join is served by the Volcano interpreter"
-        if isinstance(node, PhysUnnest) and node.outer and node.predicate is not None:
-            # The planner never pushes a predicate into an outer unnest;
-            # hand-built plans with one keep Volcano's matched-element
-            # semantics.
-            return (
-                "outer unnest with an element predicate is served by the "
-                "Volcano interpreter"
-            )
-    if isinstance(physical, PhysNest):
-        try:
-            collect_nest_aggregates(physical)
-        except VectorizationError as exc:
-            return str(exc)
-    elif not isinstance(physical, PhysReduce):
-        return f"plan root {physical.describe()} is served by the Volcano interpreter"
-    from repro.core.physical import expressions_of
-
-    for node in physical.walk():
-        for expression in expressions_of(node):
-            if not _batch_supported(expression):
-                return (
-                    f"expression {to_string(expression)} is served by the "
-                    "Volcano interpreter"
-                )
-    return None
 
 
 # ---------------------------------------------------------------------------

@@ -63,6 +63,7 @@ from typing import Any, Callable, Iterator, Mapping
 import numpy as np
 
 from repro.caching.matching import field_cache_key
+from repro.core.analysis.model import EMPTY_HINTS, NullabilityHints
 from repro.core.aggregate_utils import (
     AggregateAccumulators,
     literal_results,
@@ -918,12 +919,16 @@ class VectorizedExecutor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_manager=None,
         params: Mapping[int | str, object] | None = None,
+        hints: NullabilityHints | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
         self.batch_size = max(int(batch_size), 1)
         self.cache_manager = cache_manager
         self.params = params
+        #: Static nullability hints from the plan analyzer: output columns /
+        #: aggregate arguments proven non-nullable skip missing-mask work.
+        self.hints = hints if hints is not None else EMPTY_HINTS
         #: Counters mirrored into the engine's :class:`ExecutionProfile`.
         self.counters = PipelineCounters()
         #: Sort kernel this executor ran for a root ``PhysSort`` (``None``
@@ -1014,11 +1019,14 @@ class VectorizedExecutor:
             if sort_plan is not None and sort_plan.keys:
                 self.counters.rows_sorted += total
                 length, columns, strategy = sort_columns(
-                    names, total, columns, sort_plan.keys, limit
+                    names, total, columns, sort_plan.keys, limit,
+                    self.hints.non_null_columns,
                 )
                 self.sort_strategy = strategy
             return names, columns, compiler
-        accumulators = _BatchAggregates(plan.columns)
+        accumulators = _BatchAggregates(
+            plan.columns, self.hints.non_null_aggregate_args
+        )
         for batch in self._pipeline_batches(pipeline):
             accumulators.update(batch)
         values = accumulators.finalize()
@@ -1057,7 +1065,9 @@ class VectorizedExecutor:
                     for column in unique_columns
                 }
             return names, {name: np.zeros(0, dtype=np.float64) for name in names}
-        accumulator = TopKAccumulator(names, sort_plan.keys, limit)
+        accumulator = TopKAccumulator(
+            names, sort_plan.keys, limit, self.hints.non_null_columns
+        )
         for batch in self._pipeline_batches(pipeline):
             columns = {
                 column.name: materialize(
@@ -1138,8 +1148,15 @@ class _BatchAggregates(AggregateAccumulators):
 
     Same state and finalization as the Volcano accumulators (the shared base
     class), but folds whole batches with NumPy reductions instead of one
-    ``update`` per tuple.
+    ``update`` per tuple.  ``non_null_args`` carries the fingerprints of
+    aggregate calls whose argument the static analyzer proved non-nullable:
+    for those the per-batch valid-mask pass (a NaN scan over floats, a
+    per-element probe over object columns) is skipped entirely.
     """
+
+    def __init__(self, columns, non_null_args: frozenset[tuple] = frozenset()):
+        super().__init__(columns)
+        self.non_null_args = frozenset(non_null_args)
 
     def update(self, batch: Batch) -> None:
         self.count += batch.count
@@ -1150,7 +1167,11 @@ class _BatchAggregates(AggregateAccumulators):
             values = materialize(
                 evaluate_batch(aggregate.argument, batch), batch.count
             )
-            valid = _valid_mask(values)
+            valid = (
+                None
+                if fingerprint in self.non_null_args
+                else _valid_mask(values)
+            )
             if valid is not None:
                 values = values[valid]
             if len(values) == 0:

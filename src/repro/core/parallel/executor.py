@@ -46,6 +46,7 @@ from repro.core.aggregate_utils import (
     replace_aggregates,
     unique_output_columns,
 )
+from repro.core.analysis.model import EMPTY_HINTS, NullabilityHints
 from repro.core.executor import radix
 from repro.core.executor.vectorized import (
     Batch,
@@ -170,6 +171,7 @@ class ParallelVectorizedExecutor:
         cache_manager=None,
         morsel_rows: int | None = None,
         params: Mapping[int | str, object] | None = None,
+        hints: NullabilityHints | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -178,6 +180,9 @@ class ParallelVectorizedExecutor:
         self.cache_manager = cache_manager
         self.morsel_rows = morsel_rows
         self.params = params
+        #: Static nullability hints from the plan analyzer (see the serial
+        #: executor): skip missing-mask work where provably unnecessary.
+        self.hints = hints if hints is not None else EMPTY_HINTS
         #: Counters mirrored into the engine's :class:`ExecutionProfile`.
         self.counters = PipelineCounters()
         self.morsels_dispatched = 0
@@ -197,7 +202,7 @@ class ParallelVectorizedExecutor:
             sort_plan = plan
             plan = plan.child
         if isinstance(plan, PhysReduce):
-            root = _make_reduce_root(plan, self.params)
+            root = _make_reduce_root(plan, self.params, self.hints)
         elif isinstance(plan, PhysNest):
             root = _NestRoot(plan, self.params)
         else:
@@ -218,7 +223,9 @@ class ParallelVectorizedExecutor:
             if sort_plan.keys and limit != 0 and (
                 len(sort_plan.keys) == 1 or limit is not None
             ):
-                root = _SortedProjectionRoot(root, sort_plan.keys, limit)
+                root = _SortedProjectionRoot(
+                    root, sort_plan.keys, limit, self.hints.non_null_columns
+                )
             elif not sort_plan.keys or limit == 0:
                 root.limit = limit
         # Refuse unsplittable / single-morsel driving scans *before*
@@ -403,12 +410,16 @@ class _RootTask:
 
 
 def _make_reduce_root(
-    plan: PhysReduce, params: Mapping[int | str, object] | None = None
+    plan: PhysReduce,
+    params: Mapping[int | str, object] | None = None,
+    hints: NullabilityHints = EMPTY_HINTS,
 ) -> "_RootTask":
     aggregated = any(
         contains_aggregate(column.expression) for column in plan.columns
     )
-    return _GlobalAggregateRoot(plan, params) if aggregated else _ProjectionRoot(plan)
+    if aggregated:
+        return _GlobalAggregateRoot(plan, params, hints)
+    return _ProjectionRoot(plan)
 
 
 class _ProjectionRoot(_RootTask):
@@ -479,12 +490,17 @@ class _SortedProjectionRoot(_RootTask):
     """
 
     def __init__(
-        self, inner: "_ProjectionRoot", keys: list[tuple[str, bool]], limit: int | None
+        self,
+        inner: "_ProjectionRoot",
+        keys: list[tuple[str, bool]],
+        limit: int | None,
+        non_null: frozenset[str] = frozenset(),
     ):
         self.inner = inner
         self.names = inner.names
         self.keys = list(keys)
         self.limit = limit
+        self.non_null = frozenset(non_null)
         #: The strategy the merge ran ("parallel-merge", or the re-sort
         #: kernel's name for shapes the merge cannot serve).
         self.sort_strategy: str | None = None
@@ -494,7 +510,11 @@ class _SortedProjectionRoot(_RootTask):
             # Bounded morsel: stream batches through the same top-K
             # accumulator the serial tier uses, so a worker never holds more
             # than the accumulator's candidate budget per morsel.
-            return {"topk": TopKAccumulator(self.names, self.keys, self.limit)}
+            return {
+                "topk": TopKAccumulator(
+                    self.names, self.keys, self.limit, self.non_null
+                )
+            }
         return self.inner.new_state()
 
     def update(self, state: dict, batch: Batch, counters: PipelineCounters) -> None:
@@ -535,7 +555,7 @@ class _SortedProjectionRoot(_RootTask):
             return length, columns
         counters.rows_sorted += length
         length, columns, _ = sort_columns(
-            self.names, length, columns, self.keys, None
+            self.names, length, columns, self.keys, None, self.non_null
         )
         return length, columns
 
@@ -543,7 +563,7 @@ class _SortedProjectionRoot(_RootTask):
         runs = [partial for partial in partials if partial is not None]
         merged_rows = sum(length for length, _ in runs)
         length, columns, strategy = merge_sorted_runs(
-            self.names, runs, self.keys, self.limit
+            self.names, runs, self.keys, self.limit, self.non_null
         )
         if strategy is not None and strategy != STRATEGY_PARALLEL_MERGE:
             # The merge re-sorted the concatenation (multi-key / string
@@ -559,14 +579,20 @@ class _GlobalAggregateRoot(_RootTask):
     morsel order and finalized exactly like the serial tier."""
 
     def __init__(
-        self, plan: PhysReduce, params: Mapping[int | str, object] | None = None
+        self,
+        plan: PhysReduce,
+        params: Mapping[int | str, object] | None = None,
+        hints: NullabilityHints = EMPTY_HINTS,
     ):
         self.plan = plan
         self.params = params
+        self.hints = hints
         self.names = [column.name for column in plan.columns]
 
     def new_state(self) -> _BatchAggregates:
-        return _BatchAggregates(self.plan.columns)
+        return _BatchAggregates(
+            self.plan.columns, self.hints.non_null_aggregate_args
+        )
 
     def update(
         self, state: _BatchAggregates, batch: Batch, counters: PipelineCounters

@@ -119,7 +119,9 @@ def resolve_limit(
 # ---------------------------------------------------------------------------
 
 
-def _encode_key(buffer: Any, ascending: bool) -> list[np.ndarray] | None:
+def _encode_key(
+    buffer: Any, ascending: bool, assume_present: bool = False
+) -> list[np.ndarray] | None:
     """Encode one key column into lexsort subkeys, or ``None`` when only the
     object-fallback comparator can order it.
 
@@ -127,6 +129,13 @@ def _encode_key(buffer: Any, ascending: bool) -> list[np.ndarray] | None:
     (``False`` = present, so missing rows sort last in both directions)
     followed by the value transform whose ascending order is the requested
     column order.
+
+    ``assume_present`` is the static analyzer's non-nullable hint: the
+    missing-value scans (``np.isnan`` over floats, the per-element probe over
+    object columns) are skipped entirely.  The hint is safe even when wrong
+    for float columns — NaN compares last under NumPy sorts natively, and
+    negation keeps NaN as NaN, so NULLS LAST semantics are preserved in both
+    directions; a spurious hint only costs the dedicated subkey.
     """
     values = buffer if isinstance(buffer, np.ndarray) else np.asarray(buffer, dtype=object)
     kind = values.dtype.kind
@@ -135,6 +144,8 @@ def _encode_key(buffer: Any, ascending: bool) -> list[np.ndarray] | None:
     if kind == "b":
         return [values if ascending else ~values]
     if kind == "f":
+        if assume_present:
+            return [values if ascending else -values]
         missing = np.isnan(values)
         key = values if ascending else -values
         if missing.any():
@@ -146,22 +157,37 @@ def _encode_key(buffer: Any, ascending: bool) -> list[np.ndarray] | None:
         _, codes = np.unique(values, return_inverse=True)
         return [-codes.astype(np.int64)]
     if kind == "O":
-        return _encode_object_key(values, ascending)
+        return _encode_object_key(values, ascending, assume_present)
     return None
 
 
-def _encode_object_key(values: np.ndarray, ascending: bool) -> list[np.ndarray] | None:
+def _encode_object_key(
+    values: np.ndarray, ascending: bool, assume_present: bool = False
+) -> list[np.ndarray] | None:
     """Encode an object column when its present values are uniformly strings
-    or exactly-representable numbers; otherwise defer to the comparator."""
+    or exactly-representable numbers; otherwise defer to the comparator.
+
+    ``assume_present`` removes every per-element piece of mask handling: the
+    missing scan, the mask side of the type probe, and the conditional
+    blank-for-missing materialization.  The type-uniformity probe itself
+    still runs regardless — a mixed-type column must keep raising its clear
+    error through the fallback comparator, hint or no hint (and a value the
+    hint wrongly promised present fails that probe, so a stale hint falls
+    back to the comparator instead of mis-sorting).
+    """
     items = values.tolist()
-    missing = np.fromiter(
-        (t.is_missing(v) for v in items), dtype=bool, count=len(items)
-    )
+    if assume_present:
+        missing = None
+    else:
+        missing = np.fromiter(
+            (t.is_missing(v) for v in items), dtype=bool, count=len(items)
+        )
     all_str = True
     all_num = True
-    for value, absent in zip(items, missing):
-        if absent:
-            continue
+    probed = items if missing is None else (
+        value for value, absent in zip(items, missing) if not absent
+    )
+    for value in probed:
         if isinstance(value, str):
             all_num = False
             if not all_str:
@@ -176,19 +202,30 @@ def _encode_object_key(values: np.ndarray, ascending: bool) -> list[np.ndarray] 
         else:
             return None
     if all_num and not all_str:
-        key = np.fromiter(
-            (0.0 if absent else float(value) for value, absent in zip(items, missing)),
-            dtype=np.float64,
-            count=len(items),
-        )
+        if missing is None:
+            key = np.fromiter(
+                (float(value) for value in items), dtype=np.float64, count=len(items)
+            )
+        else:
+            key = np.fromiter(
+                (
+                    0.0 if absent else float(value)
+                    for value, absent in zip(items, missing)
+                ),
+                dtype=np.float64,
+                count=len(items),
+            )
         if not ascending:
             key = -key
-        return [missing, key] if missing.any() else [key]
+        return [key] if missing is None or not missing.any() else [missing, key]
     # Uniform strings (or an all-missing column, encoded as empty strings
     # under a missing mask that dominates them).
-    strings = np.array(
-        ["" if absent else value for value, absent in zip(items, missing)]
-    )
+    if missing is None:
+        strings = np.array(items)
+    else:
+        strings = np.array(
+            ["" if absent else value for value, absent in zip(items, missing)]
+        )
     if strings.dtype.kind not in "US":  # zero rows degenerate to float64
         strings = strings.astype(str)
     if ascending:
@@ -196,20 +233,24 @@ def _encode_object_key(values: np.ndarray, ascending: bool) -> list[np.ndarray] 
     else:
         _, codes = np.unique(strings, return_inverse=True)
         key = -codes.astype(np.int64)
-    return [missing, key] if missing.any() else [key]
+    return [key] if missing is None or not missing.any() else [missing, key]
 
 
 def _lexsort_keys(
-    data: Mapping[str, Any], order_by: Sequence[SortKey]
+    data: Mapping[str, Any],
+    order_by: Sequence[SortKey],
+    non_null: frozenset[str] = frozenset(),
 ) -> tuple[list[np.ndarray], list[np.ndarray]] | None:
     """All lexsort subkeys for an ORDER BY, in :func:`numpy.lexsort` order
     (least significant first, primary key last), plus the primary column's
     own subkeys (most significant first — the top-K kernel partitions on
-    them); ``None`` when any key column requires the object fallback."""
+    them); ``None`` when any key column requires the object fallback.
+    ``non_null`` names key columns proven non-nullable by the static
+    analyzer — their missing-value scans are skipped."""
     keys: list[np.ndarray] = []
     primary: list[np.ndarray] = []
     for column, ascending in reversed(order_by):
-        encoded = _encode_key(data[column], ascending)
+        encoded = _encode_key(data[column], ascending, column in non_null)
         if encoded is None:
             return None
         keys.extend(reversed(encoded))  # least significant subkey first
@@ -302,9 +343,9 @@ def _fallback_permutation(
         values = buffer.tolist() if isinstance(buffer, np.ndarray) else list(buffer)
         values = [None if t.is_missing(v) else t.python_value(v) for v in values]
         indices.sort(
-            key=lambda i: (
+            key=lambda i, values=values, column=column, descending=not ascending: (
                 values[i] is None,
-                _FallbackKey(column, values[i], not ascending),
+                _FallbackKey(column, values[i], descending),
             )
         )
     return indices
@@ -328,6 +369,7 @@ def sort_columns(
     data: Mapping[str, Any],
     order_by: Sequence[SortKey],
     limit: int | None,
+    non_null: frozenset[str] = frozenset(),
 ) -> tuple[int, dict[str, Any], str | None]:
     """Apply ORDER BY / LIMIT to a columnar result in place of row boxing.
 
@@ -336,7 +378,8 @@ def sort_columns(
     ``None`` when there was nothing to sort (pure LIMIT).  One permutation is
     computed over the key columns and every buffer is gathered through it —
     rows are never materialized.  Missing values sort NULLS LAST in both
-    directions.
+    directions.  ``non_null`` (the static analyzer's nullability hints) lets
+    the key encoders skip their missing-value scans for the named columns.
     """
     data = dict(data)
     if not order_by:
@@ -346,7 +389,7 @@ def sort_columns(
     validate_order_columns(list(names), data, order_by)
     if limit == 0:
         return 0, {n: b[:0] for n, b in data.items()}, STRATEGY_TOPK
-    encoded = _lexsort_keys(data, order_by)
+    encoded = _lexsort_keys(data, order_by, non_null)
     if encoded is None:
         indices = _fallback_permutation(data, order_by, length)
         if limit is not None:
@@ -386,10 +429,17 @@ class TopKAccumulator:
     need the object fallback is simply pruned by the fallback comparator.
     """
 
-    def __init__(self, names: Sequence[str], order_by: Sequence[SortKey], k: int):
+    def __init__(
+        self,
+        names: Sequence[str],
+        order_by: Sequence[SortKey],
+        k: int,
+        non_null: frozenset[str] = frozenset(),
+    ):
         self.names = list(names)
         self.order_by = list(order_by)
         self.k = int(k)
+        self.non_null = frozenset(non_null)
         self._chunks: dict[str, list] = {name: [] for name in self.names}
         self._total = 0
         self._budget = max(4 * self.k, 4096)
@@ -404,7 +454,7 @@ class TopKAccumulator:
         if count > self.k:
             self.rows_sorted += count
             count, columns, strategy = sort_columns(
-                self.names, count, columns, self.order_by, self.k
+                self.names, count, columns, self.order_by, self.k, self.non_null
             )
             self._note(strategy)
         for name in self._chunks:  # dict-keyed: duplicate names append once
@@ -426,7 +476,7 @@ class TopKAccumulator:
         columns = self._materialize()
         self.rows_sorted += self._total
         length, columns, strategy = sort_columns(
-            self.names, self._total, columns, self.order_by, self.k
+            self.names, self._total, columns, self.order_by, self.k, self.non_null
         )
         self._note(strategy)
         self._chunks = {name: [columns[name]] for name in self.names}
@@ -437,7 +487,7 @@ class TopKAccumulator:
         columns = self._materialize()
         self.rows_sorted += self._total
         length, columns, strategy = sort_columns(
-            self.names, self._total, columns, self.order_by, self.k
+            self.names, self._total, columns, self.order_by, self.k, self.non_null
         )
         self._note(strategy)
         return (
@@ -476,7 +526,9 @@ def merge_encodable(buffer: Any) -> bool:
 
 
 def _mergeable_single_key(
-    runs: Sequence[tuple[int, Mapping[str, Any]]], order_by: Sequence[SortKey]
+    runs: Sequence[tuple[int, Mapping[str, Any]]],
+    order_by: Sequence[SortKey],
+    non_null: frozenset[str] = frozenset(),
 ) -> list[tuple[np.ndarray, np.ndarray | None]] | None:
     """Per-run ``(value key, missing mask)`` encodings for a k-way merge, or
     ``None`` when the runs must be merged by re-sorting.
@@ -519,7 +571,7 @@ def _mergeable_single_key(
         ]
     encoded_runs: list[tuple[np.ndarray, np.ndarray | None]] = []
     for buffer in buffers:
-        keys = _encode_key(buffer, ascending)
+        keys = _encode_key(buffer, ascending, column in non_null)
         if keys is None:  # pragma: no cover - numeric kinds always encode
             return None
         encoded_runs.append((keys[-1], keys[0] if len(keys) == 2 else None))
@@ -548,6 +600,7 @@ def merge_sorted_runs(
     runs: Sequence[tuple[int, Mapping[str, Any]]],
     order_by: Sequence[SortKey],
     limit: int | None,
+    non_null: frozenset[str] = frozenset(),
 ) -> tuple[int, dict[str, Any], str | None]:
     """Merge per-morsel sorted runs into one globally sorted result.
 
@@ -582,7 +635,7 @@ def merge_sorted_runs(
         length, data = _concat_runs(names, runs)
         length, data = _slice_limit(length, data, limit)
         return length, data, None
-    encoded = _mergeable_single_key(runs, order_by)
+    encoded = _mergeable_single_key(runs, order_by, non_null)
     if len(runs) == 1 and encoded is not None:
         # A single merge-encodable run is pre-sorted by contract; runs on
         # the re-sort path may have been handed over raw, so they take the
@@ -592,7 +645,7 @@ def merge_sorted_runs(
         return (*sliced, STRATEGY_PARALLEL_MERGE)
     if encoded is None:
         length, data = _concat_runs(names, runs)
-        return sort_columns(names, length, data, order_by, limit)
+        return sort_columns(names, length, data, order_by, limit, non_null)
     # Global positions of each run inside the concatenation.
     offsets = np.cumsum([0] + [length for length, _ in runs])
     segments: list[np.ndarray] = []  # merged present rows, as global indices

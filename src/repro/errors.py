@@ -28,6 +28,28 @@ class SchemaError(ProteusError):
     """Raised when a dataset schema is inconsistent or a field is unknown."""
 
 
+class AnalysisError(SchemaError):
+    """Raised by the static plan analyzer at ``prepare()`` time.
+
+    Carries a machine-readable diagnostic ``code`` (``TYP001`` ...) plus the
+    ``dataset`` / ``field`` the diagnostic names, so callers — and the
+    planned multi-client server, which must reject bad queries before
+    admission — can route errors without parsing the message."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        dataset: str | None = None,
+        field: str | None = None,
+    ):
+        self.code = code
+        self.dataset = dataset
+        self.field = field
+        super().__init__(f"[{code}] {message}")
+
+
 class CatalogError(ProteusError):
     """Raised when a dataset is missing from, or already present in, the catalog."""
 

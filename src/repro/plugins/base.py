@@ -411,6 +411,20 @@ class InputPlugin(ABC):
         return cardinality * self.field_access_cost * max(len(paths), 1)
 
 
+def count_missing(values: np.ndarray) -> int:
+    """Observed missing entries in a column buffer.
+
+    Delegates to the executor kernels' ``missing_mask`` so statistics
+    collection and execution agree on what "missing" means (``None`` in
+    object buffers, NaN in float buffers).  Feeds
+    ``DatasetStatistics.null_counts`` — the proof the static analyzer
+    needs before it lets a tier skip missing-mask construction."""
+    from repro.core.executor.radix import missing_mask
+
+    mask = missing_mask(np.asarray(values))
+    return 0 if mask is None else int(mask.sum())
+
+
 def require_flat_path(path: FieldPath) -> str:
     """Helper for flat formats: a path must have exactly one element."""
     if len(path) != 1:

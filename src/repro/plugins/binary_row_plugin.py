@@ -15,7 +15,13 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from repro.core import types as t
-from repro.plugins.base import FieldPath, InputPlugin, ScanBuffers, require_flat_path
+from repro.plugins.base import (
+    FieldPath,
+    InputPlugin,
+    ScanBuffers,
+    count_missing,
+    require_flat_path,
+)
 from repro.storage.binary_format import RowTable, read_row_table
 from repro.storage.catalog import Dataset, DatasetStatistics
 
@@ -59,9 +65,10 @@ class BinaryRowPlugin(InputPlugin):
         table = self._table(dataset)
         statistics = DatasetStatistics(cardinality=table.row_count)
         for field in table.schema.fields:
+            column = table.column(field.name)
+            statistics.null_counts[field.name] = count_missing(column)
             if not field.dtype.is_numeric():
                 continue
-            column = table.column(field.name)
             if len(column):
                 statistics.min_values[field.name] = float(np.min(column))
                 statistics.max_values[field.name] = float(np.max(column))

@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.core import types as t
 from repro.errors import PluginError
-from repro.plugins.base import FieldPath, InputPlugin, ScanBuffers, require_flat_path
+from repro.plugins.base import (
+    FieldPath,
+    InputPlugin,
+    ScanBuffers,
+    count_missing,
+    require_flat_path,
+)
 from repro.storage.catalog import Dataset, DatasetStatistics
 from repro.storage.structural_index import CsvStructuralIndex, build_csv_index
 
@@ -183,11 +189,14 @@ class CsvPlugin(InputPlugin):
         state = self._state(dataset)
         statistics = DatasetStatistics(cardinality=state.index.num_rows)
         for field in dataset.schema.fields:
-            if not field.dtype.is_numeric():
+            if isinstance(field.dtype, (t.RecordType, t.CollectionType)):
                 continue
             try:
                 values = self.scan_columns(dataset, [(field.name,)]).column((field.name,))
             except PluginError:
+                continue
+            statistics.null_counts[field.name] = count_missing(values)
+            if not field.dtype.is_numeric():
                 continue
             if len(values):
                 statistics.min_values[field.name] = float(np.min(values))

@@ -34,6 +34,7 @@ from repro.plugins.base import (
     ScanBuffers,
     UnnestBatch,
     UnnestBuffers,
+    count_missing,
     dig_path as _dig,
 )
 from repro.storage.catalog import Dataset, DatasetStatistics
@@ -131,11 +132,14 @@ class JsonPlugin(InputPlugin):
         state = self._state(dataset)
         statistics = DatasetStatistics(cardinality=state.index.num_objects)
         for field in dataset.schema.fields:
-            if not field.dtype.is_numeric():
+            if isinstance(field.dtype, (t.RecordType, t.CollectionType)):
                 continue
             try:
                 values = self.scan_columns(dataset, [(field.name,)]).column((field.name,))
             except PluginError:
+                continue
+            statistics.null_counts[field.name] = count_missing(values)
+            if not field.dtype.is_numeric():
                 continue
             if len(values):
                 statistics.min_values[field.name] = float(np.nanmin(values))

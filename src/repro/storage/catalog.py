@@ -51,11 +51,20 @@ class DatasetStatistics:
     min_values: dict[str, float] = field(default_factory=dict)
     max_values: dict[str, float] = field(default_factory=dict)
     distinct_estimates: dict[str, int] = field(default_factory=dict)
+    #: Observed missing-value count per top-level field.  A field mapped to 0
+    #: is *proven* free of nulls in the scanned data; absent fields are
+    #: unknown.  Declared schemas are not verified against the data, so this
+    #: is the only sound basis for the static analyzer's nullability hints.
+    null_counts: dict[str, int] = field(default_factory=dict)
 
     def value_range(self, field_name: str) -> tuple[float, float] | None:
         if field_name in self.min_values and field_name in self.max_values:
             return self.min_values[field_name], self.max_values[field_name]
         return None
+
+    def proven_non_null(self, field_name: str) -> bool:
+        """Whether the collected data had zero missing values in the field."""
+        return self.null_counts.get(field_name, -1) == 0
 
 
 class Catalog:

@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Repo lint for the tier contract and plugin lock discipline.
+
+Two rules, both enforced over the AST (no imports of the checked modules):
+
+**Tier parity.**  Every ``Phys*`` operator class defined in
+``src/repro/core/physical.py`` must, for each execution tier, either be
+referenced by name in that tier's executor module (it has a handler) or
+appear as an explicit key in that tier's row of ``OPERATOR_CAPABILITIES``
+in ``src/repro/core/analysis/capabilities.py`` (its coverage is declared,
+possibly as a conditional decline).  A new operator therefore cannot
+silently fall through a tier to a raw "unhandled node" crash: the build
+fails until its coverage is stated somewhere.  Stale capability keys that
+no longer name an operator class are flagged too.
+
+**Lock discipline.**  In the input plug-ins and the memory manager, shared
+mutable dict state (an attribute initialized to ``{}`` in ``__init__`` of a
+class that also owns a ``threading.Lock``) may only be *inserted into*
+(``self._states[key] = value``) inside a ``with self.<lock>`` block — the
+double-checked-lock publish pattern those modules use.  Reads and
+``pop``-style invalidation stay unrestricted (they are idempotent).
+
+Run as ``python tools/tier_lint.py`` from the repo root; exits non-zero and
+prints one line per violation.  The check functions take explicit paths so
+the test suite can run them against seeded synthetic violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+#: Executor module (repo-relative) per capability-table tier key.
+EXECUTOR_MODULES: dict[str, str] = {
+    "TIER_CODEGEN": "src/repro/core/codegen/generator.py",
+    "TIER_PARALLEL": "src/repro/core/parallel/executor.py",
+    "TIER_VECTORIZED": "src/repro/core/executor/vectorized.py",
+    "TIER_VOLCANO": "src/repro/core/executor/volcano.py",
+}
+
+PHYSICAL_MODULE = "src/repro/core/physical.py"
+CAPABILITIES_MODULE = "src/repro/core/analysis/capabilities.py"
+
+#: Modules subject to the lock-discipline rule: everything that publishes
+#: per-dataset state shared across query threads.
+LOCK_CHECKED = (
+    "src/repro/plugins/csv_plugin.py",
+    "src/repro/plugins/json_plugin.py",
+    "src/repro/plugins/binary_col_plugin.py",
+    "src/repro/plugins/binary_row_plugin.py",
+    "src/repro/storage/memory.py",
+)
+
+#: Base classes that are abstractions, not dispatchable operators.
+NON_OPERATORS = frozenset({"PhysicalPlan"})
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def collect_phys_operators(physical_path: Path) -> set[str]:
+    """Names of every concrete physical-operator class."""
+    tree = _parse(physical_path)
+    return {
+        node.name
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+        and node.name.startswith("Phys")
+        and node.name not in NON_OPERATORS
+    }
+
+
+def collect_referenced_names(module_path: Path) -> set[str]:
+    """Every bare name and attribute name mentioned in a module."""
+    names: set[str] = set()
+    for node in ast.walk(_parse(module_path)):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def collect_capability_entries(capabilities_path: Path) -> dict[str, set[str]]:
+    """Operator-class keys per tier row of ``OPERATOR_CAPABILITIES``."""
+    tree = _parse(capabilities_path)
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "OPERATOR_CAPABILITIES"
+            for target in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            break
+        entries: dict[str, set[str]] = {}
+        for tier_key, row in zip(value.keys, value.values):
+            if not isinstance(tier_key, ast.Name) or not isinstance(row, ast.Dict):
+                continue
+            entries[tier_key.id] = {
+                key.id for key in row.keys if isinstance(key, ast.Name)
+            }
+        return entries
+    raise SystemExit(
+        f"tier_lint: no OPERATOR_CAPABILITIES dict literal in {capabilities_path}"
+    )
+
+
+def check_tier_parity(root: Path) -> list[str]:
+    """Tier-parity violations (empty when the contract holds)."""
+    operators = collect_phys_operators(root / PHYSICAL_MODULE)
+    table = collect_capability_entries(root / CAPABILITIES_MODULE)
+    violations: list[str] = []
+    for tier, module in sorted(EXECUTOR_MODULES.items()):
+        handled = collect_referenced_names(root / module)
+        declared = table.get(tier, set())
+        for operator in sorted(operators):
+            if operator not in handled and operator not in declared:
+                violations.append(
+                    f"{module}: operator {operator} has no handler and no "
+                    f"{tier} entry in OPERATOR_CAPABILITIES"
+                )
+        for stale in sorted(declared - operators):
+            violations.append(
+                f"{CAPABILITIES_MODULE}: {tier} row names {stale}, which is "
+                "not a physical operator class"
+            )
+    return violations
+
+
+def _lock_attributes(init: ast.FunctionDef) -> tuple[set[str], set[str]]:
+    """(lock attrs, empty-dict attrs) assigned on ``self`` in ``__init__``."""
+    locks: set[str] = set()
+    shared: set[str] = set()
+    for node in ast.walk(init):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in ("Lock", "RLock")
+            ):
+                locks.add(target.attr)
+            elif isinstance(value, ast.Dict) and not value.keys:
+                shared.add(target.attr)
+    return locks, shared
+
+
+def _is_self_attr(node: ast.expr, attrs: set[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in attrs
+    )
+
+
+class _LockVisitor(ast.NodeVisitor):
+    """Flags subscript assignments to shared dicts outside lock blocks."""
+
+    def __init__(self, path: Path, locks: set[str], shared: set[str]):
+        self.path = path
+        self.locks = locks
+        self.shared = shared
+        self.depth = 0
+        self.violations: list[str] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(
+            _is_self_attr(item.context_expr, self.locks)
+            for item in node.items
+        )
+        if locked:
+            self.depth += 1
+        self.generic_visit(node)
+        if locked:
+            self.depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.depth == 0:
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and _is_self_attr(
+                    target.value, self.shared
+                ):
+                    self.violations.append(
+                        f"{self.path}:{node.lineno}: insert into shared dict "
+                        f"self.{target.value.attr} outside a lock block"
+                    )
+        self.generic_visit(node)
+
+
+def check_lock_discipline(path: Path) -> list[str]:
+    """Lock-discipline violations in one module."""
+    violations: list[str] = []
+    tree = _parse(path)
+    for klass in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        init = next(
+            (
+                member
+                for member in klass.body
+                if isinstance(member, ast.FunctionDef)
+                and member.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            continue
+        locks, shared = _lock_attributes(init)
+        if not locks or not shared:
+            continue
+        for member in klass.body:
+            if not isinstance(member, ast.FunctionDef) or member.name == "__init__":
+                continue
+            visitor = _LockVisitor(path, locks, shared)
+            visitor.visit(member)
+            violations.extend(visitor.violations)
+    return violations
+
+
+def run(root: Path) -> list[str]:
+    """All violations for a repo rooted at ``root``."""
+    violations = check_tier_parity(root)
+    for relative in LOCK_CHECKED:
+        path = root / relative
+        if path.exists():
+            violations.extend(check_lock_discipline(path))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=Path(__file__).resolve().parent.parent,
+        type=Path,
+        help="repository root (defaults to the checkout containing this file)",
+    )
+    options = parser.parse_args(argv)
+    violations = run(options.root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"tier_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("tier_lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
