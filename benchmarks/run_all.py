@@ -8,8 +8,10 @@ records are aggregated into one ``BENCH_results.json`` document::
 
 The aggregate document carries, per benchmark: the gate outcome, wall-clock
 seconds, the benchmark's own metrics (speedups, rows/sec, tier attribution)
-and, at the top level, the commit / Python / platform provenance that makes
-the records comparable across CI runs.  The CI workflow uploads the document
+and, at the top level, the commit / Python / NumPy / platform / CPU-count
+provenance that makes the records comparable across CI runs, plus a
+metrics-registry snapshot from one in-process smoke query (the shape of the
+engine's observability export, recorded alongside the numbers).  The CI workflow uploads the document
 as an artifact on every push, so the repository's performance trajectory is
 recorded run over run.
 
@@ -38,7 +40,34 @@ GATED_BENCHMARKS = [
     "bench_orderby_topk",
     "bench_unnest",
     "bench_static_analysis",
+    "bench_obs_overhead",
 ]
+
+
+def metrics_snapshot() -> dict | None:
+    """In-process engine metrics snapshot stamped into the trajectory record.
+
+    Runs one smoke query against a throwaway engine so the registry carries a
+    real tier count and latency histogram — the snapshot documents the
+    metrics *shape* CI consumers can rely on, alongside the gate outcomes.
+    """
+    try:
+        import json as json_module
+        import tempfile
+
+        from repro import ProteusEngine
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "smoke.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                for value in range(16):
+                    handle.write(json_module.dumps({"v": value}) + "\n")
+            engine = ProteusEngine()
+            engine.register_json("smoke", path)
+            engine.query("SELECT COUNT(*) AS n FROM smoke WHERE v > 3")
+            return engine.metrics.to_dict()
+    except Exception:
+        return None
 
 
 def git_commit() -> str | None:
@@ -119,14 +148,22 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"   | {line}")
         records.append(record)
 
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:
+        numpy_version = None
     document = {
         "schema": "proteus-bench-trajectory/1",
         "commit": git_commit(),
         "python": platform.python_version(),
+        "numpy": numpy_version,
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "quick": args.quick,
         "ok": all(record["ok"] for record in records),
         "benchmarks": records,
+        "metrics_snapshot": metrics_snapshot(),
     }
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:

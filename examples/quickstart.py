@@ -265,6 +265,45 @@ def main() -> None:
     print(f"  proven non-null after analyze('sales'): "
           f"{sorted(hinted.analysis.hints.non_null_columns)}")
 
+    print("\n== Observability: tracing, EXPLAIN ANALYZE and the metrics registry ==")
+    # Span tracing is pay-for-what-you-use: off by default (the hot path pays
+    # one is-None check), enabled per engine with enable_tracing=True.  Each
+    # traced execution lands in a bounded ring buffer as a QueryTrace with
+    # engine phases (parse/plan/execute/...) and one span per operator.
+    traced = ProteusEngine(enable_tracing=True)
+    traced.register_csv("sales", paths["sales"])
+    traced.query("SELECT product_id, SUM(amount) FROM sales "
+                 "WHERE quantity >= 3 GROUP BY product_id")
+    trace = traced.tracer.last()
+    print(f"  traced {trace.tier} execution, "
+          f"{len(trace.phases)} phases / {len(trace.operators)} operator spans:")
+    for span in trace.operators:
+        print(f"    {span.name:<14} {span.seconds * 1e3:7.3f} ms  "
+              f"rows_out={span.rows_out}")
+
+    # explain(analyze=True) executes the query under a forced trace and
+    # renders the plan with the optimizer's estimates beside the measured
+    # rows/time per operator, plus the predicted-vs-served tier.
+    report = engine.explain(
+        "SELECT product_id, COUNT(*) FROM sales WHERE quantity >= 8 "
+        "GROUP BY product_id",
+        analyze=True,
+    )
+    for line in report.splitlines()[:4]:
+        print(f"  {line}")
+
+    # Every engine carries a thread-safe MetricsRegistry (on by default):
+    # queries per tier, a latency histogram, tier-decline codes, cache and
+    # per-plugin scan gauges — exported as JSON (to_dict) or Prometheus text
+    # (render_prometheus), plus a bounded slow-query log
+    # (slow_query_seconds, capturing the active trace when tracing is on).
+    snapshot = engine.metrics.to_dict()
+    print(f"  queries by tier: {snapshot['proteus_queries_total']['values']}")
+    print(f"  cache hit rate:  {snapshot['proteus_cache_hit_rate']['value']:.2f}")
+    scrape = engine.metrics.render_prometheus()
+    print(f"  prometheus scrape: {len(scrape.splitlines())} lines, e.g. "
+          f"{next(l for l in scrape.splitlines() if l.startswith('proteus_queries'))}")
+
 
 if __name__ == "__main__":
     main()

@@ -15,6 +15,7 @@ one :class:`QueryRuntime` instance (``rt``) and calls into it for:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -94,6 +95,32 @@ class ExecutionProfile:
         self.unnest_output_rows += other.unnest_output_rows
         self.predicted_tier = self.predicted_tier or other.predicted_tier
         self.tier_decline_reasons.update(other.tier_decline_reasons)
+        # Tier attribution is conservative: the merged profile reports the
+        # *slowest* tier any fragment executed on (that tier bounds the
+        # merged execution), generated code only if every fragment ran it,
+        # and a cached compilation only if every fragment's program came
+        # from the cache.  Before this folding the three fields silently
+        # reset to their defaults when per-fragment profiles were merged.
+        if _TIER_RANK.get(other.execution_tier, -1) > _TIER_RANK.get(
+            self.execution_tier, -1
+        ):
+            self.execution_tier = other.execution_tier
+        self.used_generated_code = (
+            self.used_generated_code and other.used_generated_code
+        )
+        self.compiled_from_cache = (
+            self.compiled_from_cache and other.compiled_from_cache
+        )
+
+
+#: Cascade order used by :meth:`ExecutionProfile.merge` — higher rank means
+#: a slower (more of a bottleneck) tier.
+_TIER_RANK = {
+    "codegen": 0,
+    "vectorized-parallel": 1,
+    "vectorized": 2,
+    "volcano": 3,
+}
 
 
 class QueryRuntime:
@@ -105,12 +132,20 @@ class QueryRuntime:
         plugins: Mapping[str, InputPlugin],
         cache_manager: CacheManager | None = None,
         params: Mapping[int | str, object] | None = None,
+        trace=None,
     ):
         self.catalog = catalog
         self.plugins = plugins
         self.cache_manager = cache_manager
         self.params: Mapping[int | str, object] = params if params is not None else {}
         self.profile = ExecutionProfile()
+        self.trace = trace
+        if trace is not None:
+            # Rebind the kernel entry points with span-recording closures on
+            # this instance only; untraced runtimes keep the plain methods.
+            from repro.obs.instrument import instrument_runtime
+
+            instrument_runtime(self, trace)
 
     # -- parameters ----------------------------------------------------------------
 
@@ -134,7 +169,7 @@ class QueryRuntime:
         paths = [tuple(path) for path in paths]
         manager = self.cache_manager
         if manager is None or plugin.format_name == "cache":
-            buffers = plugin.scan_columns(dataset, paths)
+            buffers = _metered_scan(plugin, plugin.scan_columns, dataset, paths)
             self.profile.rows_scanned += buffers.count
             self.profile.values_extracted += buffers.count * len(paths)
             return buffers
@@ -149,7 +184,7 @@ class QueryRuntime:
                 missing.append(path)
 
         if missing or not paths:
-            fresh = plugin.scan_columns(dataset, missing)
+            fresh = _metered_scan(plugin, plugin.scan_columns, dataset, missing)
             self.profile.rows_scanned += fresh.count
             self.profile.values_extracted += fresh.count * len(missing)
             count = fresh.count
@@ -210,7 +245,7 @@ class QueryRuntime:
         buffers = ScanBuffers(count=len(oids), oids=oids)
         buffers.columns.update(cached)
         if missing:
-            fresh = plugin.scan_columns_at(dataset, missing, oids)
+            fresh = _metered_scan(plugin, plugin.scan_columns_at, dataset, missing, oids)
             self.profile.values_extracted += len(oids) * len(missing)
             for path in missing:
                 buffers.columns[path] = fresh.column(path)
@@ -237,8 +272,13 @@ class QueryRuntime:
                 self.profile.values_from_cache += buffers.count * max(len(element_paths), 1)
                 self.profile.unnest_output_rows += buffers.count
                 return buffers
-        buffers = plugin.scan_unnest(
-            dataset, collection_path, element_paths, None if full_scan else parent_oids
+        buffers = _metered_scan(
+            plugin,
+            plugin.scan_unnest,
+            dataset,
+            collection_path,
+            element_paths,
+            None if full_scan else parent_oids,
         )
         self.profile.rows_scanned += buffers.count
         self.profile.unnest_output_rows += buffers.count
@@ -369,6 +409,19 @@ class QueryRuntime:
 
     def join_cache_key(self, side_fingerprint: tuple, key_fingerprint: tuple) -> tuple:
         return join_side_cache_key(side_fingerprint, key_fingerprint)
+
+
+def _metered_scan(plugin: InputPlugin, accessor, *args):
+    """Run one plug-in scan call, charging its wall time and produced bytes
+    to the plug-in's scan metrics (scraped per plug-in by the registry)."""
+    started = time.perf_counter()
+    buffers = accessor(*args)
+    seconds = time.perf_counter() - started
+    nbytes = sum(
+        getattr(column, "nbytes", 0) for column in buffers.columns.values()
+    )
+    plugin.record_scan(seconds, nbytes)
+    return buffers
 
 
 def _column_type_name(column: np.ndarray) -> str:

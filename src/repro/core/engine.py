@@ -118,6 +118,9 @@ from repro.errors import (
     ProteusError,
     VectorizationError,
 )
+from repro.obs.explain import render_explain_analyze
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_TRACE_CAPACITY, TraceBuilder, Tracer
 from repro.plugins.base import InputPlugin
 from repro.plugins.binary_col_plugin import BinaryColumnPlugin
 from repro.plugins.binary_row_plugin import BinaryRowPlugin
@@ -454,6 +457,10 @@ class ProteusEngine:
         enable_join_reordering: bool = True,
         vectorized_batch_size: int = DEFAULT_BATCH_SIZE,
         caching_policy: CachingPolicy | None = None,
+        enable_tracing: bool = False,
+        enable_metrics: bool = True,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        slow_query_seconds: float | None = 1.0,
     ):
         self.memory = MemoryManager(cache_budget_bytes=cache_budget_bytes)
         self.catalog = Catalog()
@@ -510,6 +517,71 @@ class ProteusEngine:
         self.last_plan: PhysicalPlan | None = None
         self.last_generated_source: str | None = None
         self.last_profile: ExecutionProfile | None = None
+        #: Engine-wide metrics registry (queries per tier, decline codes,
+        #: latency histogram, cache and plug-in gauges, slow-query log).
+        #: Always constructed so scrapes never fail; ``enable_metrics=False``
+        #: turns per-query recording into one attribute check.
+        self.metrics = MetricsRegistry(enabled=enable_metrics)
+        #: Span tracer; disabled by default (pay-for-what-you-use — every
+        #: instrumentation site reduces to an ``is None`` check).
+        self.tracer = Tracer(capacity=trace_capacity, enabled=enable_tracing)
+        #: Executions at or above this wall-clock duration land in the
+        #: metrics registry's slow-query log; ``None`` disables the log.
+        self.slow_query_seconds = slow_query_seconds
+        self._register_callback_gauges()
+
+    def _register_callback_gauges(self) -> None:
+        """Register scrape-time gauges over state the engine already tracks
+        (cache manager statistics, per-plug-in scan totals) — no recording
+        cost on the query path."""
+        if not self.metrics.enabled:
+            return
+        manager = self.cache_manager
+        if manager is not None:
+            self.metrics.gauge_callback(
+                "proteus_cache_hit_rate",
+                lambda: manager.stats.hit_rate,
+                "Cache lookup hit rate since engine start.",
+            )
+            self.metrics.gauge_callback(
+                "proteus_cache_lookups",
+                lambda: float(manager.stats.lookups),
+                "Cache lookups since engine start.",
+            )
+            self.metrics.gauge_callback(
+                "proteus_cache_hits",
+                lambda: float(manager.stats.hits),
+                "Cache lookup hits since engine start.",
+            )
+            self.metrics.gauge_callback(
+                "proteus_cache_entries",
+                lambda: float(len(manager.entries())),
+                "Live cache entries.",
+            )
+            self.metrics.gauge_callback(
+                "proteus_cache_used_bytes",
+                lambda: float(manager.used_bytes),
+                "Bytes of arena memory held by cache entries.",
+            )
+        plugins = list(self.plugins.values())
+        self.metrics.gauge_callback(
+            "proteus_plugin_scan_seconds",
+            lambda: {p.format_name: p.scan_seconds for p in plugins},
+            "Wall-clock seconds spent inside plug-in scan calls.",
+            callback_label="format",
+        )
+        self.metrics.gauge_callback(
+            "proteus_plugin_scan_bytes",
+            lambda: {p.format_name: float(p.scan_bytes) for p in plugins},
+            "Bytes of column buffers produced by plug-in scan calls.",
+            callback_label="format",
+        )
+        self.metrics.gauge_callback(
+            "proteus_plugin_scan_calls",
+            lambda: {p.format_name: float(p.scan_calls) for p in plugins},
+            "Plug-in scan calls (one per materialized buffer stream).",
+            callback_label="format",
+        )
 
     # ------------------------------------------------------------------------
     # Dataset registration
@@ -661,9 +733,19 @@ class ProteusEngine:
         """Execute a SQL statement."""
         return self.query(text, *args, **params)
 
-    def explain(self, text: str | Comprehension) -> str:
+    def explain(
+        self, text: str | Comprehension, *args, analyze: bool = False, **params
+    ) -> str:
         """The physical plan, generated code and tier-cascade decision of a
-        query, without executing it."""
+        query, without executing it.
+
+        With ``analyze=True`` the query *is* executed (under forced tracing;
+        parameter values may be passed like :meth:`query`) and the plan tree
+        is rendered with actual per-operator time and row counts next to the
+        optimizer's estimates, plus the predicted-vs-served tier.
+        """
+        if analyze:
+            return self._explain_analyze(text, args, params)
         comprehension = self._to_comprehension(text)
         physical = self._plan(comprehension)
         analysis = self._analyze(physical)
@@ -740,6 +822,25 @@ class ProteusEngine:
         )
         return "\n".join(parts)
 
+    def _explain_analyze(
+        self, text: str | Comprehension, args: tuple, params: dict
+    ) -> str:
+        """Execute under forced tracing and render estimated-vs-actual."""
+        with self.tracer.force():
+            prepared = self.prepare(text)
+            result = prepared.execute(*args, **params)
+        plan = prepared._plan
+        if plan is None:  # pragma: no cover - execute() always plans
+            raise ProteusError("explain(analyze=True) produced no plan")
+        return render_explain_analyze(
+            plan,
+            self.tracer.last(),
+            result.profile,
+            self.statistics,
+            len(result),
+            result.execution_seconds,
+        )
+
     # -- pipeline stages -------------------------------------------------------
 
     def _prepare_cached(self, text: str | Comprehension) -> PreparedQuery:
@@ -753,6 +854,13 @@ class ProteusEngine:
         return prepared
 
     def _to_comprehension(self, text: str | Comprehension) -> Comprehension:
+        started = time.perf_counter()
+        try:
+            return self._to_comprehension_inner(text)
+        finally:
+            self.tracer.record_phase("parse", time.perf_counter() - started)
+
+    def _to_comprehension_inner(self, text: str | Comprehension) -> Comprehension:
         if isinstance(text, Comprehension):
             comprehension = text
         else:
@@ -781,15 +889,19 @@ class ProteusEngine:
     ) -> PhysicalPlan:
         order_by = comprehension.order_by if comprehension is not None else None
         limit = comprehension.limit if comprehension is not None else None
+        started = time.perf_counter()
         physical = self.planner.plan(
             logical, parameters=parameters, order_by=order_by, limit=limit
         )
+        self.tracer.record_phase("plan", time.perf_counter() - started)
         _validate_output_columns(physical)
         # Static analysis runs at prepare time: unknown fields referenced
         # through nested paths, mixed-type comparisons and invalid aggregate
         # inputs surface here as AnalysisError instead of surfacing as raw
         # KeyErrors (or worse, silently wrong masks) during execution.
+        started = time.perf_counter()
         self._analyze(physical)
+        self.tracer.record_phase("analyze", time.perf_counter() - started)
         return physical
 
     def _analyze(self, physical: PhysicalPlan) -> SchemaAnalysis:
@@ -850,20 +962,26 @@ class ProteusEngine:
             if params:
                 prepared._value_optimized = True
         self.last_plan = prepared._plan
-        return self._execute(prepared._plan, params or None)
+        query_text = (
+            prepared._source if isinstance(prepared._source, str) else None
+        )
+        return self._execute(prepared._plan, params or None, query_text=query_text)
 
     def _execute(
         self,
         physical: PhysicalPlan,
         params: ParamValues | None = None,
+        query_text: str | None = None,
     ) -> ResultSet:
         started = time.perf_counter()
+        trace = self.tracer.begin(query_text or "<plan>", physical)
         # Resolve a parameterized LIMIT up front: literal and bound values go
         # through the same validation (negative limits are rejected in both).
         sort_plan = physical if isinstance(physical, PhysSort) else None
         bound_limit = (
             resolve_limit(sort_plan.limit, params) if sort_plan is not None else None
         )
+        cascade_started = time.perf_counter()
         analysis = self._analyze(physical)
         verdicts = self._verdicts(physical)
         predicted_tier = next(
@@ -872,6 +990,11 @@ class ProteusEngine:
         decline_reasons = {
             v.tier: f"[{v.code}] {v.reason}" for v in verdicts if not v.serves
         }
+        if trace is not None:
+            trace.add_phase(
+                "tier-cascade", time.perf_counter() - cascade_started
+            )
+        execute_started = time.perf_counter()
         executed: tuple[list[str], dict[str, Any], ExecutionProfile] | None = None
         for verdict in verdicts:
             if not verdict.serves:
@@ -882,14 +1005,14 @@ class ProteusEngine:
                 break
             try:
                 if verdict.tier == "codegen":
-                    executed = self._execute_generated(physical, params)
+                    executed = self._execute_generated(physical, params, trace)
                 elif verdict.tier == "vectorized-parallel":
                     executed = self._execute_parallel(
-                        physical, params, analysis.hints
+                        physical, params, analysis.hints, trace
                     )
                 else:
                     executed = self._execute_vectorized(
-                        physical, params, analysis.hints
+                        physical, params, analysis.hints, trace
                     )
                 break
             except (CodegenError, VectorizationError) as exc:
@@ -901,16 +1024,32 @@ class ProteusEngine:
                     f"[{TIER_RUNTIME_DEMOTION}] runtime demotion: {exc}"
                 )
         if executed is None:
-            executed = self._execute_volcano(physical, params)
+            executed = self._execute_volcano(physical, params, trace)
+        execute_seconds = time.perf_counter() - execute_started
         names, columns, profile = executed
         profile.predicted_tier = predicted_tier
         profile.tier_decline_reasons = decline_reasons
+        if trace is not None:
+            trace.add_phase("execute", execute_seconds)
+            if profile.execution_tier != "codegen":
+                # Reduce/Nest run inside the executor sinks without a stage
+                # of their own; attribute the executor call to the plan root.
+                # The codegen tier records its own root kernel spans.
+                root = unwrap_sort(physical)
+                trace.operator(
+                    type(root).__name__.removeprefix("Phys").lower(),
+                    node=root,
+                    inclusive=True,
+                    detail="engine-side root span; time covers the executor call",
+                ).add(seconds=execute_seconds, rows_out=profile.output_rows)
+        materialize_started = time.perf_counter()
         length, data = _normalize_result_columns(names, columns)
         if sort_plan is not None and profile.sort_strategy is None:
             # The tier materialized the unsorted output (codegen / volcano /
             # a batch tier that left the epilogue to the engine): run the
             # columnar sort kernels here, one permutation, no row boxing.
             rows_in = length
+            sort_started = time.perf_counter()
             length, data, strategy = sort_columns(
                 names,
                 length,
@@ -919,14 +1058,36 @@ class ProteusEngine:
                 bound_limit,
                 analysis.hints.non_null_columns,
             )
+            if trace is not None:
+                trace.operator(
+                    "sort",
+                    node=sort_plan,
+                    detail="engine-side columnar sort epilogue",
+                ).add(
+                    seconds=time.perf_counter() - sort_started,
+                    rows_in=rows_in,
+                    rows_out=length,
+                )
             if strategy is not None:
                 profile.sort_strategy = strategy
                 if bound_limit != 0:
                     # LIMIT 0 short-circuits without running a kernel; no
                     # rows entered a sort.
                     profile.rows_sorted += rows_in
+        if trace is not None:
+            trace.add_phase(
+                "materialize", time.perf_counter() - materialize_started
+            )
         elapsed = time.perf_counter() - started
         self.last_profile = profile
+        finished_trace = (
+            self.tracer.finish(trace, profile, elapsed)
+            if trace is not None
+            else None
+        )
+        self._record_query_metrics(
+            query_text, profile, decline_reasons, elapsed, length, finished_trace
+        )
         return ResultSet(
             columns=names,
             data=data,
@@ -936,8 +1097,65 @@ class ProteusEngine:
             profile=profile,
         )
 
+    def _record_query_metrics(
+        self,
+        query_text: str | None,
+        profile: ExecutionProfile,
+        decline_reasons: Mapping[str, str],
+        elapsed: float,
+        result_rows: int,
+        trace,
+    ) -> None:
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter(
+            "proteus_queries_total", "Queries executed, by serving tier."
+        ).inc(tier=profile.execution_tier)
+        metrics.histogram(
+            "proteus_query_seconds", "End-to-end query latency."
+        ).observe(elapsed)
+        metrics.counter(
+            "proteus_rows_returned_total", "Result rows returned to callers."
+        ).inc(result_rows)
+        declines = metrics.counter(
+            "proteus_tier_declines_total",
+            "Tier declines, by tier and verdict code.",
+        )
+        for tier, reason in decline_reasons.items():
+            code = reason.partition("]")[0].lstrip("[") or "unknown"
+            declines.inc(tier=tier, code=code)
+        if profile.execution_tier == "codegen":
+            metrics.counter(
+                "proteus_codegen_compilations_total",
+                "Generated-program executions, by program-cache outcome.",
+            ).inc(outcome="cache-hit" if profile.compiled_from_cache else "fresh")
+        if profile.parallel_workers > 1:
+            metrics.counter(
+                "proteus_morsels_dispatched_total",
+                "Morsels dispatched to the parallel worker pool.",
+            ).inc(profile.morsels_dispatched)
+            metrics.counter(
+                "proteus_morsels_stolen_total",
+                "Morsels served off another worker's queue.",
+            ).inc(profile.morsels_stolen)
+        threshold = self.slow_query_seconds
+        if threshold is not None and elapsed >= threshold:
+            entry: dict[str, Any] = {
+                "query": query_text or "<plan>",
+                "tier": profile.execution_tier,
+                "seconds": elapsed,
+                "rows": result_rows,
+            }
+            if trace is not None:
+                entry["trace"] = trace.to_dict()
+            metrics.record_slow_query(entry)
+
     def _execute_generated(
-        self, physical: PhysicalPlan, params: ParamValues | None = None
+        self,
+        physical: PhysicalPlan,
+        params: ParamValues | None = None,
+        trace: TraceBuilder | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         # A root PhysSort is executed by the engine's columnar sort kernels on
         # the program's output; the program itself covers the child plan, so
@@ -948,11 +1166,16 @@ class ProteusEngine:
         generated = self._compiled.get(fingerprint)
         from_cache = generated is not None
         if generated is None:
+            codegen_started = time.perf_counter()
             generated = self.generator.generate(target)
+            self.tracer.record_phase(
+                "codegen", time.perf_counter() - codegen_started
+            )
             self._compiled[fingerprint] = generated
         self.last_generated_source = generated.source
         runtime = QueryRuntime(
-            self.catalog, self.plugins, self.cache_manager, params=params
+            self.catalog, self.plugins, self.cache_manager, params=params,
+            trace=trace,
         )
         output = generated(runtime)
         names = _output_names(target)
@@ -966,6 +1189,7 @@ class ProteusEngine:
         physical: PhysicalPlan,
         params: ParamValues | None = None,
         hints: NullabilityHints | None = None,
+        trace: TraceBuilder | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = ParallelVectorizedExecutor(
             self.catalog,
@@ -975,6 +1199,7 @@ class ProteusEngine:
             cache_manager=self.cache_manager,
             params=params,
             hints=hints,
+            trace=trace,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -993,6 +1218,7 @@ class ProteusEngine:
         physical: PhysicalPlan,
         params: ParamValues | None = None,
         hints: NullabilityHints | None = None,
+        trace: TraceBuilder | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VectorizedExecutor(
             self.catalog,
@@ -1001,6 +1227,7 @@ class ProteusEngine:
             cache_manager=self.cache_manager,
             params=params,
             hints=hints,
+            trace=trace,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -1012,14 +1239,24 @@ class ProteusEngine:
         return names, columns, profile
 
     def _execute_volcano(
-        self, physical: PhysicalPlan, params: ParamValues | None = None
+        self,
+        physical: PhysicalPlan,
+        params: ParamValues | None = None,
+        trace: TraceBuilder | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
-        executor = VolcanoExecutor(self.catalog, self.plugins, params=params)
+        executor = VolcanoExecutor(
+            self.catalog, self.plugins, params=params, trace=trace
+        )
         # The engine's sort kernels run on the materialized output; the
         # interpreter never sees the PhysSort root.
         names, columns = executor.execute(unwrap_sort(physical))
         profile = ExecutionProfile(used_generated_code=False, execution_tier="volcano")
-        profile.rows_scanned = executor.tuples_processed
+        # The interpreter counts the same things the batch tiers count (see
+        # the differential suite); ``tuples_processed`` keeps its historical
+        # post-predicate semantics for the interpretation-overhead reports.
+        profile.rows_scanned = executor.rows_scanned
+        profile.unnest_output_rows = executor.unnest_output_rows
+        profile.output_rows = executor.output_rows
         self.last_generated_source = None
         return names, columns, profile
 

@@ -57,6 +57,7 @@ are covered batch-natively.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
@@ -104,6 +105,8 @@ from repro.core.sort import (
 )
 from repro.core.types import python_value as _python_value
 from repro.errors import ExecutionError, PluginError, VectorizationError
+from repro.obs.instrument import traced_scan, traced_stage
+from repro.obs.trace import TraceBuilder
 from repro.plugins.base import FieldPath, InputPlugin, flatten_collections
 from repro.storage.catalog import Catalog, Dataset
 
@@ -403,8 +406,10 @@ class ScanOperator:
         if self.fully_cached:
             yield from self._iter_cached(0, self.total_rows, counters, batch_size)
             return
-        for buffers in self.plugin.scan_batches(
-            self.dataset, self._uncached, batch_size=batch_size
+        for buffers in self._metered(
+            self.plugin.scan_batches(
+                self.dataset, self._uncached, batch_size=batch_size
+            )
         ):
             batch = self._to_batch(buffers, counters)
             if batch is not None:
@@ -417,12 +422,35 @@ class ScanOperator:
         if self.fully_cached:
             yield from self._iter_cached(start, stop, counters, batch_size)
             return
-        for buffers in self.plugin.scan_batch_ranges(
-            self.dataset, self._uncached, start, stop, batch_size=batch_size
+        for buffers in self._metered(
+            self.plugin.scan_batch_ranges(
+                self.dataset, self._uncached, start, stop, batch_size=batch_size
+            )
         ):
             batch = self._to_batch(buffers, counters)
             if batch is not None:
                 yield batch
+
+    def _metered(self, stream):
+        """Charge the time spent inside the plug-in's stream — the raw-data
+        parse cost — and the produced bytes to the plug-in's scan metrics.
+        One flush per stream keeps the accounting off the per-batch path."""
+        seconds = 0.0
+        nbytes = 0
+        try:
+            while True:
+                started = time.perf_counter()
+                try:
+                    buffers = next(stream)
+                except StopIteration:
+                    seconds += time.perf_counter() - started
+                    return
+                seconds += time.perf_counter() - started
+                for column in buffers.columns.values():
+                    nbytes += getattr(column, "nbytes", 0)
+                yield buffers
+        finally:
+            self.plugin.record_scan(seconds, nbytes)
 
     def _iter_cached(
         self, start: int, stop: int, counters: PipelineCounters, batch_size: int
@@ -579,12 +607,20 @@ class UnnestStage:
                     raise VectorizationError(
                         f"no OID column for unnest binding {self.binding!r}"
                     )
+                started = time.perf_counter()
                 buffers = self.plugin.scan_unnest_batch(
                     self.dataset,
                     self.path,
                     self.element_paths,
                     parent_oids,
                     outer=self.outer,
+                )
+                self.plugin.record_scan(
+                    time.perf_counter() - started,
+                    sum(
+                        getattr(column, "nbytes", 0)
+                        for column in buffers.columns.values()
+                    ),
                 )
             else:
                 collection = batch.columns.get((self.binding, self.path))
@@ -725,6 +761,7 @@ class PipelineCompiler:
         materializer: Callable[[CompiledPipeline, "PipelineCompiler"], Batch] | None = None,
         table_builder: Callable[[np.ndarray], radix.RadixTable] | None = None,
         params: Mapping[int | str, object] | None = None,
+        trace: TraceBuilder | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -735,6 +772,9 @@ class PipelineCompiler:
         self.table_builder = table_builder or radix.build_radix_table
         #: Bound query-parameter values, attached to every scan batch.
         self.params = params
+        #: Span trace of the current execution; ``None`` (the default) keeps
+        #: every compiled stage unwrapped — tracing costs nothing when off.
+        self.trace = trace
         #: Every scan operator created while compiling (driving scan and all
         #: build-side scans) — the executor flushes their cache
         #: materializations after a successful run.
@@ -742,10 +782,14 @@ class PipelineCompiler:
 
     def compile(self, plan: PhysicalPlan) -> CompiledPipeline:
         if isinstance(plan, PhysScan):
-            return CompiledPipeline(self._scan_operator(plan), [])
+            return CompiledPipeline(
+                traced_scan(self.trace, plan, self._scan_operator(plan)), []
+            )
         if isinstance(plan, PhysSelect):
             pipeline = self.compile(plan.child)
-            pipeline.stages.append(SelectStage(plan.predicate))
+            pipeline.stages.append(
+                traced_stage(self.trace, plan, SelectStage(plan.predicate))
+            )
             return pipeline
         if isinstance(plan, PhysUnnest):
             try:
@@ -756,7 +800,9 @@ class PipelineCompiler:
                 # materialized object column instead of plug-in OIDs.
                 dataset = plugin = None
             pipeline = self.compile(plan.child)
-            pipeline.stages.append(UnnestStage(plan, dataset, plugin))
+            pipeline.stages.append(
+                traced_stage(self.trace, plan, UnnestStage(plan, dataset, plugin))
+            )
             return pipeline
         if isinstance(plan, PhysHashJoin):
             if plan.outer:
@@ -776,8 +822,13 @@ class PipelineCompiler:
             table = self.table_builder(left_keys)
             self.counters.join_build_rows += left.count
             pipeline.stages.append(
-                HashJoinStage(
-                    left, table, left_keys.dtype.kind, plan.right_key, plan.residual
+                traced_stage(
+                    self.trace,
+                    plan,
+                    HashJoinStage(
+                        left, table, left_keys.dtype.kind, plan.right_key,
+                        plan.residual,
+                    ),
                 )
             )
             return pipeline
@@ -791,7 +842,11 @@ class PipelineCompiler:
             if left.count == 0 or pipeline.always_empty:
                 pipeline.always_empty = True
                 return pipeline
-            pipeline.stages.append(NestedLoopJoinStage(left, plan.predicate))
+            pipeline.stages.append(
+                traced_stage(
+                    self.trace, plan, NestedLoopJoinStage(left, plan.predicate)
+                )
+            )
             return pipeline
         raise VectorizationError(
             f"cannot interpret operator {plan.describe()} over batches"
@@ -920,6 +975,7 @@ class VectorizedExecutor:
         cache_manager=None,
         params: Mapping[int | str, object] | None = None,
         hints: NullabilityHints | None = None,
+        trace: TraceBuilder | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -929,6 +985,8 @@ class VectorizedExecutor:
         #: Static nullability hints from the plan analyzer: output columns /
         #: aggregate arguments proven non-nullable skip missing-mask work.
         self.hints = hints if hints is not None else EMPTY_HINTS
+        #: Span trace of this execution (``None`` = untraced, zero overhead).
+        self.trace = trace
         #: Counters mirrored into the engine's :class:`ExecutionProfile`.
         self.counters = PipelineCounters()
         #: Sort kernel this executor ran for a root ``PhysSort`` (``None``
@@ -965,6 +1023,7 @@ class VectorizedExecutor:
             cache_manager=self.cache_manager,
             counters=self.counters,
             params=self.params,
+            trace=self.trace,
         )
         return compiler, compiler.compile(child)
 

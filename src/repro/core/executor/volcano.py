@@ -21,6 +21,7 @@ generator does not cover (e.g. record construction in output columns).
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Any, Iterator, Mapping
 
@@ -45,6 +46,7 @@ from repro.core.physical import (
     PhysicalPlan,
 )
 from repro.errors import ExecutionError
+from repro.obs.trace import TraceBuilder
 from repro.plugins.base import InputPlugin, dig_path as _dig
 from repro.storage.catalog import Catalog
 
@@ -57,17 +59,31 @@ class VolcanoExecutor:
         catalog: Catalog,
         plugins: Mapping[str, InputPlugin],
         params: Mapping[int | str, object] | None = None,
+        trace: TraceBuilder | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
         #: Bound query-parameter values; placed into every scan environment
         #: under :data:`PARAMS_BINDING` so ``Parameter`` nodes evaluate.
         self.params = params
+        #: Span trace of this execution; ``None`` (the default) makes
+        #: ``_iterate`` return the raw operator iterators, untouched.
+        self.trace = trace
         #: Proxy counters: tuples pulled through operators and predicate
         #: evaluations, used by the experiment reports as interpretation-
         #: overhead proxies.
         self.tuples_processed = 0
         self.predicate_evaluations = 0
+        #: Profile counters with cross-tier semantics (the batch tiers and
+        #: the codegen runtime count the same things the same way — see the
+        #: differential suite in ``tests/test_obs.py``): records produced by
+        #: scans plus flattened unnest elements, elements emitted by unnest
+        #: operators pre-predicate (incl. outer null rows), and rows emitted
+        #: into the result.  ``tuples_processed`` is intentionally left with
+        #: its historical post-predicate semantics.
+        self.rows_scanned = 0
+        self.unnest_output_rows = 0
+        self.output_rows = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -84,6 +100,48 @@ class VolcanoExecutor:
     # -- pipelines ----------------------------------------------------------------
 
     def _iterate(self, plan: PhysicalPlan) -> Iterator[dict[str, Any]]:
+        iterator = self._dispatch(plan)
+        if self.trace is None:
+            return iterator
+        return self._traced_iterate(plan, iterator)
+
+    def _traced_iterate(
+        self, plan: PhysicalPlan, iterator: Iterator[dict[str, Any]]
+    ) -> Iterator[dict[str, Any]]:
+        """Wrap one operator's iterator with a span.
+
+        Time is *inclusive* of children (the pull model interleaves them);
+        the renderer labels it as such.  Totals accumulate in locals and
+        flush once per exhausted iterator, so tracing adds two clock reads
+        per tuple, never a lock.
+        """
+        if isinstance(plan, PhysScan):
+            name = f"scan:{plan.dataset}"
+        else:
+            name = type(plan).__name__.removeprefix("Phys").lower()
+        accumulator = self.trace.operator(
+            name,
+            node=plan,
+            inclusive=True,
+            detail="tuple-at-a-time; time includes children",
+        )
+        seconds = 0.0
+        rows = 0
+        try:
+            while True:
+                started = time.perf_counter()
+                try:
+                    env = next(iterator)
+                except StopIteration:
+                    seconds += time.perf_counter() - started
+                    return
+                seconds += time.perf_counter() - started
+                rows += 1
+                yield env
+        finally:
+            accumulator.add(seconds=seconds, rows_out=rows)
+
+    def _dispatch(self, plan: PhysicalPlan) -> Iterator[dict[str, Any]]:
         if isinstance(plan, PhysScan):
             yield from self._iterate_scan(plan)
         elif isinstance(plan, PhysSelect):
@@ -110,10 +168,12 @@ class VolcanoExecutor:
         if self.params:
             for record in plugin.iterate_rows(dataset, None):
                 self.tuples_processed += 1
+                self.rows_scanned += 1
                 yield {plan.binding: record, PARAMS_BINDING: self.params}
         else:
             for record in plugin.iterate_rows(dataset, None):
                 self.tuples_processed += 1
+                self.rows_scanned += 1
                 yield {plan.binding: record}
 
     def _iterate_unnest(self, plan: PhysUnnest) -> Iterator[dict[str, Any]]:
@@ -128,6 +188,12 @@ class VolcanoExecutor:
                 )
             matched = False
             for element in elements:
+                # Mirror the batch tiers' accounting: every flattened element
+                # counts as a scanned row and an unnest output row *before*
+                # the predicate runs (UnnestStage counts whole flattened
+                # buffers the same way).
+                self.rows_scanned += 1
+                self.unnest_output_rows += 1
                 child_env = dict(env)
                 child_env[plan.var] = element
                 if plan.predicate is not None:
@@ -138,6 +204,11 @@ class VolcanoExecutor:
                 self.tuples_processed += 1
                 yield child_env
             if plan.outer and not matched:
+                # The batch tiers' outer unnest emits the null child row
+                # inside the flattened buffers, so it lands in both counters
+                # there; keep parity.
+                self.rows_scanned += 1
+                self.unnest_output_rows += 1
                 child_env = dict(env)
                 child_env[plan.var] = None
                 yield child_env
@@ -188,6 +259,7 @@ class VolcanoExecutor:
             unique_columns = unique_output_columns(plan.columns)
             columns: dict[str, list] = {name: [] for name in names}
             for env in self._iterate(plan.child):
+                self.output_rows += 1
                 for column in unique_columns:
                     columns[column.name].append(column.expression.evaluate(env))
             return names, columns
@@ -195,6 +267,7 @@ class VolcanoExecutor:
         for env in self._iterate(plan.child):
             accumulators.update(env)
         values = accumulators.finalize()
+        self.output_rows += 1
         finish_env = parameter_env(self.params)
         columns = {}
         for column in plan.columns:
@@ -215,6 +288,7 @@ class VolcanoExecutor:
         unique_columns = unique_output_columns(plan.columns)
         finish_env = parameter_env(self.params)
         columns: dict[str, list] = {name: [] for name in names}
+        self.output_rows += len(groups)
         for key, accumulators in groups.items():
             values = accumulators.finalize()
             env = group_envs[key]

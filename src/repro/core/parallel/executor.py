@@ -88,6 +88,7 @@ from repro.core.sort import (
 from repro.core.types import python_value as _python_value
 from repro.core.expressions import contains_aggregate, parameter_env
 from repro.errors import ExecutionError, VectorizationError
+from repro.obs.trace import TraceBuilder
 from repro.plugins.base import InputPlugin
 from repro.storage.catalog import Catalog
 
@@ -172,6 +173,7 @@ class ParallelVectorizedExecutor:
         morsel_rows: int | None = None,
         params: Mapping[int | str, object] | None = None,
         hints: NullabilityHints | None = None,
+        trace: TraceBuilder | None = None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -180,6 +182,11 @@ class ParallelVectorizedExecutor:
         self.cache_manager = cache_manager
         self.morsel_rows = morsel_rows
         self.params = params
+        #: Span trace of this execution (``None`` = untraced).  The compiled
+        #: pipeline's traced stages are shared by every worker; their span
+        #: accumulators are locked, so per-morsel work aggregates into one
+        #: morsel-merged span per operator.
+        self.trace = trace
         #: Static nullability hints from the plan analyzer (see the serial
         #: executor): skip missing-mask work where provably unnecessary.
         self.hints = hints if hints is not None else EMPTY_HINTS
@@ -241,6 +248,7 @@ class ParallelVectorizedExecutor:
             materializer=self._materialize,
             table_builder=self._build_table,
             params=self.params,
+            trace=self.trace,
         )
         pipeline = compiler.compile(plan.child)
         names, columns = self._run_root(root, pipeline)

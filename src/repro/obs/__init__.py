@@ -1,0 +1,38 @@
+"""Query observability: span tracing, EXPLAIN ANALYZE, metrics registry.
+
+Three faces over one subsystem:
+
+* :mod:`repro.obs.trace` — pay-for-what-you-use span tracing of query
+  phases and physical operators, with a bounded ring buffer of recent
+  :class:`QueryTrace` exports on the engine (``engine.tracer``),
+* :mod:`repro.obs.explain` — the ``explain(analyze=True)`` report comparing
+  the static analyzer's predictions against measured spans,
+* :mod:`repro.obs.metrics` — the engine-wide :class:`MetricsRegistry`
+  (``engine.metrics``) with JSON and Prometheus text exposition.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    QueryTrace,
+    Span,
+    SpanAccumulator,
+    TraceBuilder,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "SpanAccumulator",
+    "TraceBuilder",
+    "Tracer",
+]

@@ -1,0 +1,427 @@
+"""Span tracing: per-phase and per-operator timing of one query execution.
+
+The tracing layer is pay-for-what-you-use.  When the engine's ``Tracer`` is
+disabled (the default) no builder exists, every instrumentation site reduces
+to one ``is None`` check, and the batch pipelines run the exact same
+unwrapped stage objects as an untraced engine.  When enabled, one
+:class:`TraceBuilder` accompanies a query execution and collects:
+
+* **phase spans** — ``parse``, ``analyze``, ``plan``, ``codegen``,
+  ``tier-cascade``, ``execute``, ``materialize`` — wall-clock sections of the
+  engine's own control flow, and
+* **operator spans** — one per physical operator, with rows-in/rows-out,
+  batch and byte attributes.  Operator spans are *accumulators*: the batch
+  tiers add to them once per batch, the parallel tier's workers add to the
+  same accumulator from many threads (a lock makes that safe — contention is
+  per batch, not per row), the Volcano tier flushes one locally-accumulated
+  total per iterator, and the codegen runtime records one entry per kernel
+  call.
+
+Finished traces are immutable :class:`QueryTrace` values held in a bounded
+ring buffer on the engine (``engine.tracer.traces()``) with a structured
+``to_dict()`` export.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.codegen.runtime import ExecutionProfile
+    from repro.core.physical import PhysicalPlan
+
+#: Default ring-buffer capacity of ``Tracer``.
+DEFAULT_TRACE_CAPACITY = 32
+
+#: The engine phases a trace may record, in their canonical display order.
+PHASES = (
+    "parse",
+    "analyze",
+    "plan",
+    "codegen",
+    "tier-cascade",
+    "execute",
+    "materialize",
+)
+
+
+@dataclass
+class Span:
+    """One timed section of a query execution.
+
+    ``kind`` is ``"phase"`` for engine control-flow sections and
+    ``"operator"`` for physical-operator work.  ``node_id`` is the operator's
+    ordinal in the plan's post-order walk (``None`` when the span could not
+    be tied to one plan node, e.g. a codegen kernel call).  ``inclusive``
+    marks spans whose time includes their children's time (Volcano iterator
+    wrappers and root spans); exclusive spans (batch pipeline stages) time
+    only their own work.
+    """
+
+    name: str
+    kind: str
+    seconds: float = 0.0
+    node_id: int | None = None
+    operator: str | None = None
+    detail: str = ""
+    rows_in: int = 0
+    rows_out: int = 0
+    batches: int = 0
+    bytes_processed: int = 0
+    invocations: int = 0
+    inclusive: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "seconds": self.seconds,
+        }
+        if self.kind == "operator":
+            out.update(
+                node_id=self.node_id,
+                operator=self.operator,
+                rows_in=self.rows_in,
+                rows_out=self.rows_out,
+                batches=self.batches,
+                bytes_processed=self.bytes_processed,
+                invocations=self.invocations,
+                inclusive=self.inclusive,
+            )
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+class SpanAccumulator:
+    """Thread-safe mutable accumulator behind one operator span.
+
+    Instrumentation wrappers call :meth:`add` (batch tiers: once per batch;
+    Volcano: once per exhausted iterator; codegen: once per kernel call).
+    The lock is uncontended on the serial tiers and per-batch on the
+    parallel tier, so its cost disappears into the batch work it measures.
+    """
+
+    __slots__ = (
+        "name",
+        "node_id",
+        "operator",
+        "detail",
+        "inclusive",
+        "seconds",
+        "rows_in",
+        "rows_out",
+        "batches",
+        "bytes_processed",
+        "invocations",
+        "_lock",
+        "_batch_buckets",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        node_id: int | None = None,
+        operator: str | None = None,
+        detail: str = "",
+        inclusive: bool = False,
+    ) -> None:
+        self.name = name
+        self.node_id = node_id
+        self.operator = operator
+        self.detail = detail
+        self.inclusive = inclusive
+        self.seconds = 0.0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.batches = 0
+        self.bytes_processed = 0
+        self.invocations = 0
+        self._lock = threading.Lock()
+        #: Per-thread ``[seconds, rows_in, rows_out, batches]`` subtotals for
+        #: the batch fast path; each bucket is mutated only by its owning
+        #: thread (GIL-atomic list-item updates), merged in :meth:`to_span`.
+        self._batch_buckets: dict[int, list] = {}
+
+    def add(
+        self,
+        seconds: float = 0.0,
+        rows_in: int = 0,
+        rows_out: int = 0,
+        batches: int = 0,
+        nbytes: int = 0,
+        invocations: int = 1,
+    ) -> None:
+        with self._lock:
+            self.seconds += seconds
+            self.rows_in += rows_in
+            self.rows_out += rows_out
+            self.batches += batches
+            self.bytes_processed += nbytes
+            self.invocations += invocations
+
+    def add_batch(self, seconds: float, rows_in: int, rows_out: int) -> None:
+        """Lock-free positional fast path for the per-batch stage wrappers.
+
+        Each thread accumulates into its own bucket (kwargs packing and the
+        lock both cost as much as the arithmetic at this call rate); the
+        buckets are merged when the span is assembled.
+        """
+        ident = threading.get_ident()
+        bucket = self._batch_buckets.get(ident)
+        if bucket is None:
+            with self._lock:
+                bucket = self._batch_buckets.setdefault(ident, [0.0, 0, 0, 0])
+        bucket[0] += seconds
+        bucket[1] += rows_in
+        bucket[2] += rows_out
+        bucket[3] += 1
+
+    def to_span(self) -> Span:
+        with self._lock:
+            seconds = self.seconds
+            rows_in = self.rows_in
+            rows_out = self.rows_out
+            batches = self.batches
+            invocations = self.invocations
+            for bucket in self._batch_buckets.values():
+                seconds += bucket[0]
+                rows_in += bucket[1]
+                rows_out += bucket[2]
+                batches += bucket[3]
+                invocations += bucket[3]
+            return Span(
+                name=self.name,
+                kind="operator",
+                seconds=seconds,
+                node_id=self.node_id,
+                operator=self.operator,
+                detail=self.detail,
+                rows_in=rows_in,
+                rows_out=rows_out,
+                batches=batches,
+                bytes_processed=self.bytes_processed,
+                invocations=invocations,
+                inclusive=self.inclusive,
+            )
+
+
+@dataclass
+class QueryTrace:
+    """The immutable result of tracing one query execution."""
+
+    query_text: str
+    tier: str
+    predicted_tier: str | None
+    elapsed_seconds: float
+    phases: list[Span] = field(default_factory=list)
+    operators: list[Span] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "query": self.query_text,
+            "tier": self.tier,
+            "predicted_tier": self.predicted_tier,
+            "elapsed_seconds": self.elapsed_seconds,
+            "phases": [span.to_dict() for span in self.phases],
+            "operators": [span.to_dict() for span in self.operators],
+        }
+
+    def phase_seconds(self, name: str) -> float:
+        return sum(span.seconds for span in self.phases if span.name == name)
+
+    def operator_span(self, name: str) -> Span | None:
+        for span in self.operators:
+            if span.name == name:
+                return span
+        return None
+
+
+class TraceBuilder:
+    """Collects the spans of one query execution.
+
+    Operator spans are keyed by ``(node ordinal, span name)`` — the ordinal
+    is the operator's position in the plan's post-order ``walk()``, which is
+    deterministic per plan shape, so every tier attributes work to the same
+    key.  Spans the instrumentation cannot tie to a plan node (codegen
+    kernel calls, which run against generated code that may reference
+    synthesized sub-plans) carry ``node_id=None`` and are matched back to
+    nodes by operator kind at render time.
+    """
+
+    def __init__(self, query_text: str, plan: "PhysicalPlan | None") -> None:
+        self.query_text = query_text
+        self.plan = plan
+        self._node_ids: dict[int, int] = {}
+        if plan is not None:
+            for index, node in enumerate(plan.walk()):
+                self._node_ids[id(node)] = index
+        self.phase_spans: list[Span] = []
+        self._operators: dict[tuple[int | None, str], SpanAccumulator] = {}
+        self._lock = threading.Lock()
+
+    # -- phases ----------------------------------------------------------------
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self.phase_spans.append(Span(name=name, kind="phase", seconds=seconds))
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase(name, time.perf_counter() - started)
+
+    # -- operators -------------------------------------------------------------
+
+    def node_ordinal(self, node: object) -> int | None:
+        return self._node_ids.get(id(node))
+
+    def operator(
+        self,
+        name: str,
+        node: object = None,
+        operator: str | None = None,
+        detail: str = "",
+        inclusive: bool = False,
+    ) -> SpanAccumulator:
+        """The (get-or-created) accumulator of one operator span.
+
+        ``node`` is the physical-plan node the span measures; when it is a
+        node of the traced plan the span inherits its walk ordinal, otherwise
+        (or when ``None``) the span is keyed by name alone.
+        """
+        node_id = self.node_ordinal(node) if node is not None else None
+        if operator is None and node is not None:
+            operator = type(node).__name__
+        key = (node_id, name)
+        with self._lock:
+            accumulator = self._operators.get(key)
+            if accumulator is None:
+                accumulator = SpanAccumulator(
+                    name,
+                    node_id=node_id,
+                    operator=operator,
+                    detail=detail,
+                    inclusive=inclusive,
+                )
+                self._operators[key] = accumulator
+            return accumulator
+
+    def operator_spans(self) -> list[Span]:
+        with self._lock:
+            accumulators = list(self._operators.values())
+        spans = [accumulator.to_span() for accumulator in accumulators]
+        spans.sort(key=lambda span: (span.node_id is None, span.node_id or 0, span.name))
+        return spans
+
+    # -- assembly --------------------------------------------------------------
+
+    def finish(
+        self, profile: "ExecutionProfile | None", elapsed_seconds: float
+    ) -> QueryTrace:
+        order = {name: index for index, name in enumerate(PHASES)}
+        phases = sorted(
+            self.phase_spans, key=lambda span: order.get(span.name, len(order))
+        )
+        return QueryTrace(
+            query_text=self.query_text,
+            tier=profile.execution_tier if profile is not None else "unknown",
+            predicted_tier=profile.predicted_tier if profile is not None else None,
+            elapsed_seconds=elapsed_seconds,
+            phases=phases,
+            operators=self.operator_spans(),
+        )
+
+
+class Tracer:
+    """The engine's tracing switchboard and bounded trace ring buffer.
+
+    ``enabled`` is the master switch — engines pass ``enable_tracing=True``
+    (or use :meth:`force`, which ``explain(analyze=True)`` does).  Phases
+    measured before an execution starts (parse/plan happen in ``prepare()``)
+    are parked in a pending list and folded into the next builder.
+    """
+
+    def __init__(
+        self, capacity: int = DEFAULT_TRACE_CAPACITY, enabled: bool = False
+    ) -> None:
+        self.enabled = enabled
+        self._traces: deque[QueryTrace] = deque(maxlen=max(int(capacity), 1))
+        self._pending_phases: list[tuple[str, float]] = []
+        self.active: TraceBuilder | None = None
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------------
+
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Park a phase measured outside an active execution (prepare time)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            active = self.active
+            if active is None:
+                # Bound the parked list: prepares without a following execute
+                # must not accumulate (keep the most recent prepare's phases).
+                if len(self._pending_phases) >= 16:
+                    del self._pending_phases[0]
+                self._pending_phases.append((name, seconds))
+                return
+        active.add_phase(name, seconds)
+
+    def begin(self, query_text: str, plan: "PhysicalPlan | None") -> TraceBuilder | None:
+        """Start tracing one execution; ``None`` when tracing is disabled."""
+        if not self.enabled:
+            return None
+        builder = TraceBuilder(query_text, plan)
+        with self._lock:
+            pending, self._pending_phases = self._pending_phases, []
+            self.active = builder
+        for name, seconds in pending:
+            builder.add_phase(name, seconds)
+        return builder
+
+    def finish(
+        self,
+        builder: TraceBuilder,
+        profile: "ExecutionProfile | None",
+        elapsed_seconds: float,
+    ) -> QueryTrace:
+        trace = builder.finish(profile, elapsed_seconds)
+        with self._lock:
+            self._traces.append(trace)
+            if self.active is builder:
+                self.active = None
+        return trace
+
+    # -- inspection ------------------------------------------------------------
+
+    def traces(self) -> list[QueryTrace]:
+        with self._lock:
+            return list(self._traces)
+
+    def last(self) -> QueryTrace | None:
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._pending_phases.clear()
+
+    @contextmanager
+    def force(self) -> Iterator[None]:
+        """Temporarily enable tracing (``explain(analyze=True)``)."""
+        previous = self.enabled
+        self.enabled = True
+        try:
+            yield
+        finally:
+            self.enabled = previous

@@ -34,6 +34,7 @@ plug-ins generate as LLVM IR.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
@@ -149,6 +150,24 @@ class InputPlugin(ABC):
 
     def __init__(self, memory: MemoryManager):
         self.memory = memory
+        #: Cumulative scan metrics (scraped by the engine's metrics registry
+        #: as per-plugin gauges): wall-clock seconds spent inside this
+        #: plug-in's scan/parse paths, bytes of columnar data produced, and
+        #: the number of scan streams / kernel calls served.  Updated through
+        #: :meth:`record_scan` from the engine-side call sites (the batch
+        #: tiers' scan streams and the codegen runtime), one flush per
+        #: stream, under a lock (the parallel tier records from workers).
+        self.scan_seconds = 0.0
+        self.scan_bytes = 0
+        self.scan_calls = 0
+        self._metrics_lock = threading.Lock()
+
+    def record_scan(self, seconds: float, nbytes: int) -> None:
+        """Charge one scan stream / kernel call to this plug-in's metrics."""
+        with self._metrics_lock:
+            self.scan_seconds += seconds
+            self.scan_bytes += int(nbytes)
+            self.scan_calls += 1
 
     # -- schema and statistics ----------------------------------------------
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Repo lint for the tier contract and plugin lock discipline.
+"""Repo lint for the tier contract, span coverage and plugin lock discipline.
 
-Two rules, both enforced over the AST (no imports of the checked modules):
+Three rules, all enforced over the AST (no imports of the checked modules):
 
 **Tier parity.**  Every ``Phys*`` operator class defined in
 ``src/repro/core/physical.py`` must, for each execution tier, either be
@@ -12,6 +12,14 @@ possibly as a conditional decline).  A new operator therefore cannot
 silently fall through a tier to a raw "unhandled node" crash: the build
 fails until its coverage is stated somewhere.  Stale capability keys that
 no longer name an operator class are flagged too.
+
+**Span coverage.**  Every ``Phys*`` operator class must appear as a key in
+exactly one of ``SPAN_INSTRUMENTED_OPERATORS`` / ``SPAN_EXEMPT_OPERATORS``
+in ``src/repro/obs/instrument.py`` — the declared inventory of which
+operators the tracing layer covers (and where), and which are deliberately
+left dark (and why).  A new operator cannot silently execute untraced: the
+build fails until its observability story is stated.  Stale names are
+flagged too.
 
 **Lock discipline.**  In the input plug-ins and the memory manager, shared
 mutable dict state (an attribute initialized to ``{}`` in ``__init__`` of a
@@ -42,6 +50,7 @@ EXECUTOR_MODULES: dict[str, str] = {
 
 PHYSICAL_MODULE = "src/repro/core/physical.py"
 CAPABILITIES_MODULE = "src/repro/core/analysis/capabilities.py"
+INSTRUMENT_MODULE = "src/repro/obs/instrument.py"
 
 #: Modules subject to the lock-discipline rule: everything that publishes
 #: per-dataset state shared across query threads.
@@ -136,6 +145,60 @@ def check_tier_parity(root: Path) -> list[str]:
                 f"{CAPABILITIES_MODULE}: {tier} row names {stale}, which is "
                 "not a physical operator class"
             )
+    return violations
+
+
+def collect_string_keyed_dict(module_path: Path, name: str) -> set[str]:
+    """String keys of a module-level dict literal assigned to ``name``."""
+    tree = _parse(module_path)
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == name
+            for target in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            break
+        return {
+            key.value
+            for key in value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+    raise SystemExit(f"tier_lint: no {name} dict literal in {module_path}")
+
+
+def check_span_coverage(root: Path) -> list[str]:
+    """Span-coverage violations (empty when every operator is declared)."""
+    operators = collect_phys_operators(root / PHYSICAL_MODULE)
+    instrument = root / INSTRUMENT_MODULE
+    instrumented = collect_string_keyed_dict(
+        instrument, "SPAN_INSTRUMENTED_OPERATORS"
+    )
+    exempt = collect_string_keyed_dict(instrument, "SPAN_EXEMPT_OPERATORS")
+    violations: list[str] = []
+    for operator in sorted(operators - instrumented - exempt):
+        violations.append(
+            f"{INSTRUMENT_MODULE}: operator {operator} is neither "
+            "span-instrumented nor declared exempt"
+        )
+    for operator in sorted(instrumented & exempt):
+        violations.append(
+            f"{INSTRUMENT_MODULE}: operator {operator} is declared both "
+            "instrumented and exempt"
+        )
+    for stale in sorted((instrumented | exempt) - operators):
+        violations.append(
+            f"{INSTRUMENT_MODULE}: {stale} is not a physical operator class"
+        )
     return violations
 
 
@@ -240,6 +303,7 @@ def check_lock_discipline(path: Path) -> list[str]:
 def run(root: Path) -> list[str]:
     """All violations for a repo rooted at ``root``."""
     violations = check_tier_parity(root)
+    violations.extend(check_span_coverage(root))
     for relative in LOCK_CHECKED:
         path = root / relative
         if path.exists():
