@@ -10,6 +10,13 @@ Eviction is a *format-biased* LRU: when the arena is full, the entry with the
 lowest ``bias / recency`` score is dropped first, so caches over JSON survive
 longer than caches over CSV, which survive longer than caches over binary
 data (``JSON ≻ CSV ≻ Binary``), mirroring the paper's policy.
+
+One manager is shared by both batch tiers, the codegen runtime and the
+planner's access-path selection, from every query thread, so every public
+method takes ``self._lock``.  Mutators delegate to ``*_locked`` internals
+(``store`` must evict while holding the lock; re-taking it would self-
+deadlock).  The arena and the statistics object are mutated only through
+those locked paths (``EXTERNALLY_GUARDED`` in ``core/concurrency.py``).
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.caching.policies import CachingPolicy, DefaultCachingPolicy
+from repro.core.concurrency import make_lock
 from repro.errors import CacheError
 from repro.storage.memory import CacheArena
 
@@ -76,19 +84,21 @@ class CacheManager:
         self.stats = CacheStatistics()
         self._entries: dict[tuple, CacheEntry] = {}
         self._clock = 0
+        self._lock = make_lock("CacheManager._lock")
 
     # -- lookup ----------------------------------------------------------------
 
     def lookup(self, key: tuple) -> CacheEntry | None:
         """Return the entry for ``key`` (updating its recency) or ``None``."""
-        self.stats.lookups += 1
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        self._clock += 1
-        entry.touch(self._clock)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._clock += 1
+            entry.touch(self._clock)
+            self.stats.hits += 1
+            return entry
 
     def peek(self, key: tuple) -> CacheEntry | None:
         """Return the entry for ``key`` without touching statistics."""
@@ -116,45 +126,48 @@ class CacheManager:
         evicting everything cheaper (it is then simply not cached — caching is
         best-effort and never fails a query).
         """
-        if key in self._entries:
-            entry = self._entries[key]
-            self._clock += 1
-            entry.touch(self._clock)
-            return entry
+        # Size estimation can be expensive (object-array walks); do it before
+        # taking the lock.  The bias lookup is a pure policy read.
         size = size_bytes if size_bytes is not None else estimate_size(data)
         bias = self.policy.format_bias(source_format)
-        if size > self.arena.budget_bytes:
-            self.stats.rejected += 1
-            return None
-        self._make_room(size, bias)
-        if not self.arena.can_fit(size):
-            self.stats.rejected += 1
-            return None
-        self.arena.register(_arena_name(key), size)
-        self._clock += 1
-        entry = CacheEntry(
-            key=key,
-            kind=kind,
-            dataset=dataset,
-            source_format=source_format,
-            data=data,
-            size_bytes=size,
-            bias=bias,
-            description=description,
-            last_used=self._clock,
-        )
-        self._entries[key] = entry
-        self.stats.stores += 1
-        return entry
+        with self._lock:
+            if key in self._entries:
+                entry = self._entries[key]
+                self._clock += 1
+                entry.touch(self._clock)
+                return entry
+            if size > self.arena.budget_bytes:
+                self.stats.rejected += 1
+                return None
+            self._make_room_locked(size, bias)
+            if not self.arena.can_fit(size):
+                self.stats.rejected += 1
+                return None
+            self.arena.register(_arena_name(key), size)
+            self._clock += 1
+            entry = CacheEntry(
+                key=key,
+                kind=kind,
+                dataset=dataset,
+                source_format=source_format,
+                data=data,
+                size_bytes=size,
+                bias=bias,
+                description=description,
+                last_used=self._clock,
+            )
+            self._entries[key] = entry
+            self.stats.stores += 1
+            return entry
 
-    def _make_room(self, size: int, incoming_bias: float) -> None:
+    def _make_room_locked(self, size: int, incoming_bias: float) -> None:
         """Evict entries (cheapest-to-rebuild, least-recently-used first) until
-        ``size`` bytes fit or nothing evictable remains."""
+        ``size`` bytes fit or nothing evictable remains.  Lock held."""
         while not self.arena.can_fit(size):
             victim = self._pick_victim(incoming_bias)
             if victim is None:
                 return
-            self.evict(victim.key)
+            self._evict_locked(victim.key)
 
     def _pick_victim(self, incoming_bias: float) -> CacheEntry | None:
         candidates = list(self._entries.values())
@@ -168,6 +181,10 @@ class CacheManager:
     # -- eviction / invalidation ----------------------------------------------------
 
     def evict(self, key: tuple) -> None:
+        with self._lock:
+            self._evict_locked(key)
+
+    def _evict_locked(self, key: tuple) -> None:
         entry = self._entries.pop(key, None)
         if entry is None:
             return
@@ -177,33 +194,42 @@ class CacheManager:
     def invalidate_dataset(self, dataset: str) -> int:
         """Drop every cache built from ``dataset`` (used on data updates, §4:
         Proteus drops and rebuilds affected auxiliary structures)."""
-        keys = [key for key, entry in self._entries.items() if entry.dataset == dataset]
-        for key in keys:
-            self.evict(key)
-        return len(keys)
+        with self._lock:
+            keys = [
+                key for key, entry in self._entries.items() if entry.dataset == dataset
+            ]
+            for key in keys:
+                self._evict_locked(key)
+            return len(keys)
 
     def clear(self) -> None:
-        for key in list(self._entries):
-            self.evict(key)
+        with self._lock:
+            for key in list(self._entries):
+                self._evict_locked(key)
 
     # -- introspection -----------------------------------------------------------------
 
     def entries(self) -> list[CacheEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def entries_for_dataset(self, dataset: str) -> list[CacheEntry]:
-        return [entry for entry in self._entries.values() if entry.dataset == dataset]
+        with self._lock:
+            return [
+                entry for entry in self._entries.values() if entry.dataset == dataset
+            ]
 
     @property
     def used_bytes(self) -> int:
         return self.arena.used_bytes
 
     def total_size_for_format(self, source_format: str) -> int:
-        return sum(
-            entry.size_bytes
-            for entry in self._entries.values()
-            if entry.source_format == source_format
-        )
+        with self._lock:
+            return sum(
+                entry.size_bytes
+                for entry in self._entries.values()
+                if entry.source_format == source_format
+            )
 
 
 def estimate_size(data: Any) -> int:

@@ -91,6 +91,7 @@ from repro.core.calculus import Comprehension
 from repro.core.codegen.generator import CodeGenerator
 from repro.core.codegen.runtime import ExecutionProfile, QueryRuntime
 from repro.core.comprehension_parser import parse_comprehension
+from repro.core.concurrency import make_lock
 from repro.core.executor.vectorized import (
     DEFAULT_BATCH_SIZE,
     VectorizedExecutor,
@@ -317,6 +318,12 @@ class PreparedQuery:
     queries: the engine's catalog epoch is checked on every execution and the
     query transparently re-prepares itself against the current catalog — it
     can never serve stale data through a baked-in ``Dataset`` object.
+
+    One PreparedQuery is shared by every thread executing the same query text
+    (the engine's per-text prepared cache), so its refresh state — epoch,
+    plan, value-optimized flag — lives in a single tuple swapped atomically
+    under ``self._lock``: an executing thread snapshots the whole triple in
+    one read and can never pair a stale plan with a fresh epoch.
     """
 
     def __init__(
@@ -333,20 +340,67 @@ class PreparedQuery:
         self._source = source
         self.comprehension = comprehension
         self._logical = logical
-        self._plan: PhysicalPlan | None = plan
         self.parameter_keys = list(parameter_keys)
         self._positional = sorted(
             key for key in self.parameter_keys if isinstance(key, int)
         )
         self._named = {key for key in self.parameter_keys if isinstance(key, str)}
-        self._epoch = epoch
-        #: True once the plan has been re-optimized with bound values.
-        self._value_optimized = False
+        #: (catalog epoch, physical plan, value-optimized?) — one atomically
+        #: rebound triple, written only inside :meth:`_current_plan` under
+        #: ``self._lock``, read lock-free as a single snapshot.
+        self._state: tuple[int, PhysicalPlan | None, bool] = (epoch, plan, False)
+        self._lock = make_lock("PreparedQuery._lock")
 
     @property
     def plan(self) -> PhysicalPlan | None:
         """The current physical plan (introspection)."""
-        return self._plan
+        return self._state[1]
+
+    @property
+    def _plan(self) -> PhysicalPlan | None:
+        return self._state[1]
+
+    def _current_plan(self, params: dict | None) -> PhysicalPlan:
+        """The plan to execute with, re-preparing against the live catalog
+        when the epoch moved (or re-optimizing on the first parameterized
+        execution).  The fast path is one lock-free snapshot read; refreshes
+        serialize under ``self._lock`` so concurrent executors of this shared
+        object never observe a half-written (epoch, plan) pair."""
+        engine = self._engine
+        epoch, plan, value_optimized = self._state
+        if (
+            epoch == engine._catalog_epoch
+            and plan is not None
+            and not (params and not value_optimized)
+        ):
+            return plan
+        with self._lock:
+            epoch, plan, value_optimized = self._state
+            current_epoch = engine._catalog_epoch
+            if epoch != current_epoch:
+                # The catalog changed since preparation: transparently
+                # re-prepare against the current datasets (or fail the way a
+                # fresh query would, e.g. when the dataset was dropped).
+                self.comprehension = engine._to_comprehension(self._source)
+                self._logical = translate(self.comprehension)
+                plan = None
+                value_optimized = False
+            if plan is None or (params and not value_optimized):
+                # First (parameterized) execution: run the optimizer with the
+                # bound values feeding selectivity estimation, then freeze
+                # the plan.  The compiled-program cache is keyed by the
+                # plan's parameter-abstracted fingerprint, so
+                # re-optimization can only reuse or add compiled artifacts,
+                # never invalidate them.
+                plan = engine._plan_logical(
+                    self._logical,
+                    parameters=params or None,
+                    comprehension=self.comprehension,
+                )
+                if params:
+                    value_optimized = True
+            self._state = (current_epoch, plan, value_optimized)
+            return plan
 
     @property
     def parameters(self) -> list[int | str]:
@@ -361,12 +415,7 @@ class PreparedQuery:
         the nullability hints feeding the executors' fast paths.
 
         Everything here is computed at prepare time — no data is read."""
-        plan = self._plan
-        if plan is None:
-            plan = self._engine._plan_logical(
-                self._logical, comprehension=self.comprehension
-            )
-            self._plan = plan
+        plan = self._current_plan(None)
         schema = self._engine._analyze(plan)
         return PlanAnalysis(
             columns=tuple(schema.columns),
@@ -500,6 +549,13 @@ class ProteusEngine:
             enable_join_reordering=enable_join_reordering,
         )
         self.generator = CodeGenerator(self.catalog, self.plugins, self.cache_plugin)
+        #: Guards the four shape caches below and the catalog epoch: the
+        #: engine serves concurrent sessions, so every publish into (or bulk
+        #: clear of) shared prepare-time state happens under this lock.
+        #: Expensive work (parse, plan, codegen) runs *outside* it; winners
+        #: are chosen with ``setdefault`` — the double-checked publish
+        #: pattern, checked by ``tools/concurrency_lint.py``.
+        self._lock = make_lock("ProteusEngine._lock")
         self._compiled: dict[tuple, Any] = {}
         self._parsed: dict[str, Comprehension] = {}
         #: Static-analysis cache keyed by plan fingerprint; entries are
@@ -646,7 +702,8 @@ class ProteusEngine:
                 old_plugin.invalidate(name)
             if self.cache_manager is not None:
                 self.cache_manager.invalidate_dataset(name)
-            self._compiled.clear()
+            with self._lock:
+                self._compiled.clear()
         if schema is not None and not isinstance(schema, t.RecordType):
             schema = t.make_schema(schema)
         dataset = Dataset(name=name, format=data_format, path=path,
@@ -656,14 +713,15 @@ class ProteusEngine:
         self.catalog.register(dataset, replace=True)
         if analyze:
             self.analyze(name)
-        self._parsed.clear()
-        self._prepared_cache.clear()
-        self._analyses.clear()
-        # Any catalog change invalidates outstanding PreparedQuery objects
-        # (their plans may bake stale Dataset objects or, for a brand-new
-        # name, resolve unqualified columns differently); they transparently
-        # re-prepare on their next execution.
-        self._catalog_epoch += 1
+        with self._lock:
+            self._parsed.clear()
+            self._prepared_cache.clear()
+            self._analyses.clear()
+            # Any catalog change invalidates outstanding PreparedQuery objects
+            # (their plans may bake stale Dataset objects or, for a brand-new
+            # name, resolve unqualified columns differently); they
+            # transparently re-prepare on their next execution.
+            self._catalog_epoch += 1
         return dataset
 
     def unregister(self, name: str) -> None:
@@ -677,11 +735,12 @@ class ProteusEngine:
         if self.cache_manager is not None:
             self.cache_manager.invalidate_dataset(name)
         self.catalog.unregister(name)
-        self._compiled.clear()
-        self._parsed.clear()
-        self._prepared_cache.clear()
-        self._analyses.clear()
-        self._catalog_epoch += 1
+        with self._lock:
+            self._compiled.clear()
+            self._parsed.clear()
+            self._prepared_cache.clear()
+            self._analyses.clear()
+            self._catalog_epoch += 1
 
     def analyze(self, name: str) -> None:
         """Collect statistics for a dataset (cardinality, min/max per field)."""
@@ -689,8 +748,9 @@ class ProteusEngine:
         plugin = self.plugins[dataset.format]
         self.catalog.set_statistics(name, plugin.collect_statistics(dataset))
         # Fresh statistics can change join orders; let prepared plans refresh.
-        self._analyses.clear()
-        self._catalog_epoch += 1
+        with self._lock:
+            self._analyses.clear()
+            self._catalog_epoch += 1
 
     # ------------------------------------------------------------------------
     # Query execution
@@ -849,8 +909,12 @@ class ProteusEngine:
         key = text.strip()
         prepared = self._prepared_cache.get(key)
         if prepared is None:
+            # Prepare outside the lock (parse + plan are the expensive part);
+            # concurrent first callers race to prepare, one publication wins
+            # and every thread shares the winner.
             prepared = self.prepare(text)
-            self._prepared_cache[key] = prepared
+            with self._lock:
+                prepared = self._prepared_cache.setdefault(key, prepared)
         return prepared
 
     def _to_comprehension(self, text: str | Comprehension) -> Comprehension:
@@ -877,7 +941,8 @@ class ProteusEngine:
                     "queries must start with SELECT (SQL) or FOR (comprehension syntax)"
                 )
             bound = normalize(bind_comprehension(comprehension, self.catalog.element_types()))
-            self._parsed[stripped] = bound
+            with self._lock:
+                bound = self._parsed.setdefault(stripped, bound)
             return bound
         return normalize(bind_comprehension(comprehension, self.catalog.element_types()))
 
@@ -910,7 +975,8 @@ class ProteusEngine:
         cached = self._analyses.get(fingerprint)
         if cached is None:
             cached = analyze_schema(physical, self.catalog)
-            self._analyses[fingerprint] = cached
+            with self._lock:
+                cached = self._analyses.setdefault(fingerprint, cached)
         return cached
 
     def _verdicts(self, physical: PhysicalPlan) -> tuple[TierVerdict, ...]:
@@ -939,33 +1005,12 @@ class ProteusEngine:
     def _execute_prepared(
         self, prepared: PreparedQuery, params: dict
     ) -> ResultSet:
-        if prepared._epoch != self._catalog_epoch:
-            # The catalog changed since preparation: transparently re-prepare
-            # against the current datasets (or fail the way a fresh query
-            # would, e.g. when the dataset was dropped).
-            prepared.comprehension = self._to_comprehension(prepared._source)
-            prepared._logical = translate(prepared.comprehension)
-            prepared._plan = None
-            prepared._value_optimized = False
-            prepared._epoch = self._catalog_epoch
-        if prepared._plan is None or (params and not prepared._value_optimized):
-            # First (parameterized) execution: run the optimizer with the
-            # bound values feeding selectivity estimation, then freeze the
-            # plan.  The compiled-program cache is keyed by the plan's
-            # parameter-abstracted fingerprint, so re-optimization can only
-            # reuse or add compiled artifacts, never invalidate them.
-            prepared._plan = self._plan_logical(
-                prepared._logical,
-                parameters=params or None,
-                comprehension=prepared.comprehension,
-            )
-            if params:
-                prepared._value_optimized = True
-        self.last_plan = prepared._plan
+        plan = prepared._current_plan(params)
+        self.last_plan = plan
         query_text = (
             prepared._source if isinstance(prepared._source, str) else None
         )
-        return self._execute(prepared._plan, params or None, query_text=query_text)
+        return self._execute(plan, params or None, query_text=query_text)
 
     def _execute(
         self,
@@ -1171,7 +1216,10 @@ class ProteusEngine:
             self.tracer.record_phase(
                 "codegen", time.perf_counter() - codegen_started
             )
-            self._compiled[fingerprint] = generated
+            # Concurrent cold executions of one shape race to generate; the
+            # first publication wins so every thread runs the same program.
+            with self._lock:
+                generated = self._compiled.setdefault(fingerprint, generated)
         self.last_generated_source = generated.source
         runtime = QueryRuntime(
             self.catalog, self.plugins, self.cache_manager, params=params,

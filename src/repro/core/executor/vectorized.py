@@ -56,7 +56,6 @@ are covered batch-natively.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
@@ -65,6 +64,7 @@ import numpy as np
 
 from repro.caching.matching import field_cache_key
 from repro.core.analysis.model import EMPTY_HINTS, NullabilityHints
+from repro.core.concurrency import make_lock
 from repro.core.aggregate_utils import (
     AggregateAccumulators,
     literal_results,
@@ -375,7 +375,7 @@ class ScanOperator:
         # Chunk recorder for cache materialization: worth the references only
         # when the manager could admit at least one column of this format.
         self._record: dict[FieldPath, dict[int, np.ndarray]] = {}
-        self._record_lock = threading.Lock()
+        self._record_lock = make_lock("ScanOperator._record_lock")
         if (
             cache_manager is not None
             and plugin.format_name != "cache"
@@ -498,7 +498,9 @@ class ScanOperator:
         manager = self.cache_manager
         if manager is None or not self._record:
             return
-        for path, chunks in self._record.items():
+        with self._record_lock:
+            record, self._record = self._record, {}
+        for path, chunks in record.items():
             if not chunks:
                 continue
             starts = sorted(chunks)
@@ -527,7 +529,6 @@ class ScanOperator:
                 source_format=self.plugin.format_name,
                 description=f"{self.dataset.name}.{'.'.join(path)}",
             )
-        self._record = {}
 
 
 def _cache_type_name(column: np.ndarray) -> str:

@@ -24,6 +24,8 @@ import threading
 from collections import deque
 from typing import Any, Callable, Sequence
 
+from repro.core.concurrency import make_lock
+
 
 class WorkStealingQueue:
     """Per-worker deques with block preloading and back-stealing."""
@@ -32,7 +34,7 @@ class WorkStealingQueue:
         if num_workers < 1:
             raise ValueError("the queue needs at least one worker")
         self._deques: list[deque] = [deque() for _ in range(num_workers)]
-        self._lock = threading.Lock()
+        self._lock = make_lock("WorkStealingQueue._lock")
         self.dispatched = 0
         self.stolen = 0
         # Block distribution: worker w gets the w-th contiguous slice, so a

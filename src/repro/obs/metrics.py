@@ -13,9 +13,10 @@ current value without the hot path ever touching the registry.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Any, Callable, Mapping
+
+from repro.core.concurrency import make_lock
 
 #: Latency buckets (seconds) of the default query-duration histogram —
 #: sub-millisecond cache hits up to multi-second cold scans.
@@ -72,7 +73,7 @@ class Counter:
         self.name = name
         self.help_text = help_text
         self._values: dict[LabelValues, float] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("Counter._lock")
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         key = _label_key(labels)
@@ -162,7 +163,7 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
         self._sum = 0.0
         self._count = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Histogram._lock")
 
     def observe(self, value: float) -> None:
         index = len(self.buckets)
@@ -226,7 +227,7 @@ class MetricsRegistry:
         self._slow_queries: deque[dict[str, Any]] = deque(
             maxlen=SLOW_QUERY_LOG_CAPACITY
         )
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock")
 
     # -- registration ----------------------------------------------------------
 

@@ -31,6 +31,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.core.concurrency import make_lock
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.codegen.runtime import ExecutionProfile
     from repro.core.physical import PhysicalPlan
@@ -142,7 +144,7 @@ class SpanAccumulator:
         self.batches = 0
         self.bytes_processed = 0
         self.invocations = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("SpanAccumulator._lock")
         #: Per-thread ``[seconds, rows_in, rows_out, batches]`` subtotals for
         #: the batch fast path; each bucket is mutated only by its owning
         #: thread (GIL-atomic list-item updates), merged in :meth:`to_span`.
@@ -263,7 +265,7 @@ class TraceBuilder:
                 self._node_ids[id(node)] = index
         self.phase_spans: list[Span] = []
         self._operators: dict[tuple[int | None, str], SpanAccumulator] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("TraceBuilder._lock")
 
     # -- phases ----------------------------------------------------------------
 
@@ -357,7 +359,7 @@ class Tracer:
         self._traces: deque[QueryTrace] = deque(maxlen=max(int(capacity), 1))
         self._pending_phases: list[tuple[str, float]] = []
         self.active: TraceBuilder | None = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("Tracer._lock")
 
     # -- recording -------------------------------------------------------------
 

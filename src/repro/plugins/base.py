@@ -34,7 +34,6 @@ plug-ins generate as LLVM IR.
 
 from __future__ import annotations
 
-import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
@@ -42,6 +41,7 @@ from typing import Any, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.core import types as t
+from repro.core.concurrency import make_lock
 # Canonical nested-access rule, re-exported for plug-in authors.
 from repro.core.types import dig_path  # noqa: F401
 from repro.errors import PluginError
@@ -160,7 +160,7 @@ class InputPlugin(ABC):
         self.scan_seconds = 0.0
         self.scan_bytes = 0
         self.scan_calls = 0
-        self._metrics_lock = threading.Lock()
+        self._metrics_lock = make_lock("InputPlugin._metrics_lock")
 
     def record_scan(self, seconds: float, nbytes: int) -> None:
         """Charge one scan stream / kernel call to this plug-in's metrics."""

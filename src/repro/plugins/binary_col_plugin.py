@@ -9,12 +9,12 @@ rank binary data below CSV and JSON.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from repro.core import types as t
+from repro.core.concurrency import make_lock
 from repro.plugins.base import (
     FieldPath,
     InputPlugin,
@@ -37,7 +37,7 @@ class BinaryColumnPlugin(InputPlugin):
     def __init__(self, memory):
         super().__init__(memory)
         self._tables: dict[str, ColumnTable] = {}
-        self._table_lock = threading.Lock()
+        self._table_lock = make_lock("BinaryColumnPlugin._table_lock")
 
     def _table(self, dataset: Dataset) -> ColumnTable:
         # Double-checked locking: load the memory-mapped table exactly once
@@ -53,7 +53,8 @@ class BinaryColumnPlugin(InputPlugin):
             return table
 
     def invalidate(self, dataset_name: str) -> None:
-        self._tables.pop(dataset_name, None)
+        with self._table_lock:
+            self._tables.pop(dataset_name, None)
 
     # -- schema and statistics -------------------------------------------------
 

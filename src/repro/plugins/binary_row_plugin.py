@@ -9,12 +9,12 @@ reflects.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from repro.core import types as t
+from repro.core.concurrency import make_lock
 from repro.plugins.base import (
     FieldPath,
     InputPlugin,
@@ -36,7 +36,7 @@ class BinaryRowPlugin(InputPlugin):
     def __init__(self, memory):
         super().__init__(memory)
         self._tables: dict[str, RowTable] = {}
-        self._table_lock = threading.Lock()
+        self._table_lock = make_lock("BinaryRowPlugin._table_lock")
 
     def _table(self, dataset: Dataset) -> RowTable:
         # Double-checked locking: load the table exactly once even under
@@ -54,7 +54,8 @@ class BinaryRowPlugin(InputPlugin):
             return table
 
     def invalidate(self, dataset_name: str) -> None:
-        self._tables.pop(dataset_name, None)
+        with self._table_lock:
+            self._tables.pop(dataset_name, None)
 
     # -- schema and statistics -----------------------------------------------
 

@@ -11,7 +11,6 @@ the Symantec workload.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
@@ -19,6 +18,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from repro.core import types as t
+from repro.core.concurrency import make_lock
 from repro.errors import PluginError
 from repro.plugins.base import (
     FieldPath,
@@ -106,7 +106,7 @@ class CsvPlugin(InputPlugin):
     def __init__(self, memory):
         super().__init__(memory)
         self._states: dict[str, _CsvState] = {}
-        self._state_lock = threading.Lock()
+        self._state_lock = make_lock("CsvPlugin._state_lock")
 
     # -- dataset state --------------------------------------------------------
 
@@ -158,7 +158,8 @@ class CsvPlugin(InputPlugin):
 
     def invalidate(self, dataset_name: str) -> None:
         """Drop per-dataset state (used when the underlying file changes)."""
-        self._states.pop(dataset_name, None)
+        with self._state_lock:
+            self._states.pop(dataset_name, None)
 
     def index_info(self, dataset: Dataset) -> dict:
         """Structural-index metadata used by the benchmarks (size, build time)."""

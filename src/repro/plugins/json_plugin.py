@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import json
 import operator
-import threading
 import time
 from dataclasses import dataclass
 from itertools import chain
@@ -27,6 +26,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from repro.core import types as t
+from repro.core.concurrency import make_lock
 from repro.errors import PluginError
 from repro.plugins.base import (
     FieldPath,
@@ -69,7 +69,7 @@ class JsonPlugin(InputPlugin):
     def __init__(self, memory):
         super().__init__(memory)
         self._states: dict[str, _JsonState] = {}
-        self._state_lock = threading.Lock()
+        self._state_lock = make_lock("JsonPlugin._state_lock")
 
     # -- dataset state ---------------------------------------------------------
 
@@ -98,7 +98,8 @@ class JsonPlugin(InputPlugin):
 
     def invalidate(self, dataset_name: str) -> None:
         """Drop per-dataset state (used when the underlying file changes)."""
-        self._states.pop(dataset_name, None)
+        with self._state_lock:
+            self._states.pop(dataset_name, None)
 
     def index_info(self, dataset: Dataset) -> dict:
         """Structural-index metadata used by the benchmarks."""

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import mmap
 import os
-import threading
 from dataclasses import dataclass, field
 
+from repro.core.concurrency import make_lock
 from repro.errors import StorageError
 
 
@@ -38,7 +38,7 @@ class MemoryManager:
 
     def __init__(self, cache_budget_bytes: int = 256 * 1024 * 1024):
         self._mapped: dict[str, MappedFile] = {}
-        self._map_lock = threading.Lock()
+        self._map_lock = make_lock("MemoryManager._map_lock")
         self.arena = CacheArena(cache_budget_bytes)
 
     def map_file(self, path: str) -> MappedFile:
@@ -70,7 +70,8 @@ class MemoryManager:
     def release(self, path: str) -> None:
         """Unmap a file if it is currently mapped."""
         real = os.path.abspath(path)
-        mapped = self._mapped.pop(real, None)
+        with self._map_lock:
+            mapped = self._mapped.pop(real, None)
         if mapped is not None and mapped.mapped:
             mapped.data.close()  # type: ignore[union-attr]
 

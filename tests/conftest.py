@@ -12,6 +12,45 @@ from repro import ProteusEngine
 from repro.core import types as t
 from repro.storage.binary_format import write_column_table, write_row_table
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--stress",
+        action="store_true",
+        default=False,
+        help=(
+            "run the suite under the concurrency sanitizer: DebugLock "
+            "wrappers record the lock-order graph (asserted acyclic at "
+            "session end) and sys.setswitchinterval is cranked down so racy "
+            "interleavings surface"
+        ),
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _concurrency_stress(request):
+    """No-op by default; under ``--stress`` every ``make_lock`` created for
+    the rest of the session is a :class:`DebugLock` and thread switches are
+    ~1000x more frequent."""
+    if not request.config.getoption("--stress"):
+        yield
+        return
+    from repro.core.concurrency import (
+        assert_lock_order_acyclic,
+        reset_lock_order,
+        set_debug_locks,
+        switch_interval,
+    )
+
+    reset_lock_order()
+    set_debug_locks(True)
+    try:
+        with switch_interval():
+            yield
+    finally:
+        set_debug_locks(False)
+    assert_lock_order_acyclic()
+
+
 #: Number of rows in the small "items" dataset used across the test suite.
 ITEM_COUNT = 120
 #: Number of orders in the nested "orders" dataset.

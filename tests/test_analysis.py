@@ -5,7 +5,6 @@ statistics-proven nullability hints and the tier-parity repo lint."""
 import json
 import os
 import shutil
-import textwrap
 from pathlib import Path
 
 import pytest
@@ -410,48 +409,8 @@ def test_tier_lint_flags_stale_capability_entry(tmp_path):
     assert any("PhysGhost" in violation for violation in violations)
 
 
-LOCKED_MODULE = textwrap.dedent(
-    """
-    import threading
-
-    class Plugin:
-        def __init__(self):
-            self._states = {}
-            self._state_lock = threading.Lock()
-
-        def publish(self, name, state):
-            with self._state_lock:
-                self._states[name] = state
-    """
-)
-
-UNLOCKED_MODULE = textwrap.dedent(
-    """
-    import threading
-
-    class Plugin:
-        def __init__(self):
-            self._states = {}
-            self._state_lock = threading.Lock()
-
-        def publish(self, name, state):
-            self._states[name] = state
-    """
-)
-
-
-def test_lock_discipline_accepts_guarded_insert(tmp_path):
-    module = tmp_path / "locked.py"
-    module.write_text(LOCKED_MODULE, encoding="utf-8")
-    assert tier_lint.check_lock_discipline(module) == []
-
-
-def test_lock_discipline_flags_unguarded_insert(tmp_path):
-    module = tmp_path / "unlocked.py"
-    module.write_text(UNLOCKED_MODULE, encoding="utf-8")
-    violations = tier_lint.check_lock_discipline(module)
-    assert len(violations) == 1
-    assert "_states" in violations[0]
+# Lock discipline is now checked repo-wide by tools/concurrency_lint.py
+# (see tests/test_concurrency.py for its seeded-violation suite).
 
 
 def test_tier_lint_cli(capsys):

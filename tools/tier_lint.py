@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Repo lint for the tier contract, span coverage and plugin lock discipline.
+"""Repo lint for the tier contract and span coverage.
 
-Three rules, all enforced over the AST (no imports of the checked modules):
+Two rules, both enforced over the AST (no imports of the checked modules):
 
 **Tier parity.**  Every ``Phys*`` operator class defined in
 ``src/repro/core/physical.py`` must, for each execution tier, either be
@@ -21,12 +21,12 @@ left dark (and why).  A new operator cannot silently execute untraced: the
 build fails until its observability story is stated.  Stale names are
 flagged too.
 
-**Lock discipline.**  In the input plug-ins and the memory manager, shared
-mutable dict state (an attribute initialized to ``{}`` in ``__init__`` of a
-class that also owns a ``threading.Lock``) may only be *inserted into*
-(``self._states[key] = value``) inside a ``with self.<lock>`` block — the
-double-checked-lock publish pattern those modules use.  Reads and
-``pop``-style invalidation stay unrestricted (they are idempotent).
+Lock discipline used to be rule three, limited to subscript inserts in the
+plug-ins and the memory manager; it missed every non-subscript mutation form
+(``setdefault`` / ``update`` / ``pop`` / attribute rebinds) and has been
+superseded by the repo-wide dataflow pass in ``tools/concurrency_lint.py``,
+which checks all mutation forms against the declaration tables in
+``src/repro/core/concurrency.py`` and builds the static lock-order graph.
 
 Run as ``python tools/tier_lint.py`` from the repo root; exits non-zero and
 prints one line per violation.  The check functions take explicit paths so
@@ -51,16 +51,6 @@ EXECUTOR_MODULES: dict[str, str] = {
 PHYSICAL_MODULE = "src/repro/core/physical.py"
 CAPABILITIES_MODULE = "src/repro/core/analysis/capabilities.py"
 INSTRUMENT_MODULE = "src/repro/obs/instrument.py"
-
-#: Modules subject to the lock-discipline rule: everything that publishes
-#: per-dataset state shared across query threads.
-LOCK_CHECKED = (
-    "src/repro/plugins/csv_plugin.py",
-    "src/repro/plugins/json_plugin.py",
-    "src/repro/plugins/binary_col_plugin.py",
-    "src/repro/plugins/binary_row_plugin.py",
-    "src/repro/storage/memory.py",
-)
 
 #: Base classes that are abstractions, not dispatchable operators.
 NON_OPERATORS = frozenset({"PhysicalPlan"})
@@ -202,112 +192,10 @@ def check_span_coverage(root: Path) -> list[str]:
     return violations
 
 
-def _lock_attributes(init: ast.FunctionDef) -> tuple[set[str], set[str]]:
-    """(lock attrs, empty-dict attrs) assigned on ``self`` in ``__init__``."""
-    locks: set[str] = set()
-    shared: set[str] = set()
-    for node in ast.walk(init):
-        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
-            continue
-        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-        value = node.value
-        for target in targets:
-            if not (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
-                continue
-            if (
-                isinstance(value, ast.Call)
-                and isinstance(value.func, ast.Attribute)
-                and value.func.attr in ("Lock", "RLock")
-            ):
-                locks.add(target.attr)
-            elif isinstance(value, ast.Dict) and not value.keys:
-                shared.add(target.attr)
-    return locks, shared
-
-
-def _is_self_attr(node: ast.expr, attrs: set[str]) -> bool:
-    return (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-        and node.attr in attrs
-    )
-
-
-class _LockVisitor(ast.NodeVisitor):
-    """Flags subscript assignments to shared dicts outside lock blocks."""
-
-    def __init__(self, path: Path, locks: set[str], shared: set[str]):
-        self.path = path
-        self.locks = locks
-        self.shared = shared
-        self.depth = 0
-        self.violations: list[str] = []
-
-    def visit_With(self, node: ast.With) -> None:
-        locked = any(
-            _is_self_attr(item.context_expr, self.locks)
-            for item in node.items
-        )
-        if locked:
-            self.depth += 1
-        self.generic_visit(node)
-        if locked:
-            self.depth -= 1
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if self.depth == 0:
-            for target in node.targets:
-                if isinstance(target, ast.Subscript) and _is_self_attr(
-                    target.value, self.shared
-                ):
-                    self.violations.append(
-                        f"{self.path}:{node.lineno}: insert into shared dict "
-                        f"self.{target.value.attr} outside a lock block"
-                    )
-        self.generic_visit(node)
-
-
-def check_lock_discipline(path: Path) -> list[str]:
-    """Lock-discipline violations in one module."""
-    violations: list[str] = []
-    tree = _parse(path)
-    for klass in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
-        init = next(
-            (
-                member
-                for member in klass.body
-                if isinstance(member, ast.FunctionDef)
-                and member.name == "__init__"
-            ),
-            None,
-        )
-        if init is None:
-            continue
-        locks, shared = _lock_attributes(init)
-        if not locks or not shared:
-            continue
-        for member in klass.body:
-            if not isinstance(member, ast.FunctionDef) or member.name == "__init__":
-                continue
-            visitor = _LockVisitor(path, locks, shared)
-            visitor.visit(member)
-            violations.extend(visitor.violations)
-    return violations
-
-
 def run(root: Path) -> list[str]:
     """All violations for a repo rooted at ``root``."""
     violations = check_tier_parity(root)
     violations.extend(check_span_coverage(root))
-    for relative in LOCK_CHECKED:
-        path = root / relative
-        if path.exists():
-            violations.extend(check_lock_discipline(path))
     return violations
 
 
