@@ -41,6 +41,7 @@ GATED_BENCHMARKS = [
     "bench_unnest",
     "bench_static_analysis",
     "bench_obs_overhead",
+    "bench_resilience_overhead",
 ]
 
 

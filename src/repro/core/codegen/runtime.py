@@ -77,6 +77,16 @@ class ExecutionProfile:
     #: (data-dependent demotions the static analysis cannot rule out) appear
     #: with code ``TIER009``.
     tier_decline_reasons: dict[str, str] = field(default_factory=dict)
+    #: Transient scan-I/O retries this query consumed (RES005 territory once
+    #: the per-query budget runs out).
+    io_retries: int = 0
+    #: ``None`` for completed queries; the diagnostic code (``RES001`` ...)
+    #: when the query was aborted by the resilience subsystem.
+    aborted: str | None = None
+    #: Partial-progress counters (batches/rows/morsels/kernel calls) captured
+    #: from the :class:`~repro.resilience.context.QueryContext` when a query
+    #: aborts; empty for completed queries.
+    partial_progress: dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "ExecutionProfile") -> None:
         self.rows_scanned += other.rows_scanned
@@ -93,6 +103,8 @@ class ExecutionProfile:
         self.sort_strategy = self.sort_strategy or other.sort_strategy
         self.rows_sorted += other.rows_sorted
         self.unnest_output_rows += other.unnest_output_rows
+        self.io_retries += other.io_retries
+        self.aborted = self.aborted or other.aborted
         self.predicted_tier = self.predicted_tier or other.predicted_tier
         self.tier_decline_reasons.update(other.tier_decline_reasons)
         # Tier attribution is conservative: the merged profile reports the
@@ -133,6 +145,7 @@ class QueryRuntime:
         cache_manager: CacheManager | None = None,
         params: Mapping[int | str, object] | None = None,
         trace=None,
+        context=None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -140,12 +153,22 @@ class QueryRuntime:
         self.params: Mapping[int | str, object] = params if params is not None else {}
         self.profile = ExecutionProfile()
         self.trace = trace
+        self.context = context
         if trace is not None:
             # Rebind the kernel entry points with span-recording closures on
             # this instance only; untraced runtimes keep the plain methods.
             from repro.obs.instrument import instrument_runtime
 
             instrument_runtime(self, trace)
+        if context is not None and context.active:
+            # Same rebinding idiom for cooperative deadline/cancel checks: a
+            # generated program cannot be interrupted mid-source, but every
+            # unit of work it performs flows through these kernels.  A
+            # passive context (no deadline, no token) keeps the plain
+            # methods, so the default engine pays nothing here.
+            from repro.resilience.instrument import instrument_runtime_checks
+
+            instrument_runtime_checks(self, context)
 
     # -- parameters ----------------------------------------------------------------
 

@@ -184,12 +184,19 @@ class DebugLock:
                 f"re-entrant acquisition of non-reentrant lock {self.name}: "
                 f"held stack {held}"
             )
-        if first:
-            _GRAPH.record(held, self.name)
         ok = self._inner.acquire(blocking, timeout)
-        if ok:
-            held.append(self.name)
-        return ok
+        if not ok:
+            # A failed non-blocking / timed acquire never held the lock, so
+            # it must leave no trace: no held-stack entry and no order edge.
+            return False
+        if first:
+            try:
+                _GRAPH.record(held, self.name)
+            except LockOrderError:
+                self._inner.release()
+                raise
+        held.append(self.name)
+        return True
 
     def release(self) -> None:
         held = _held_stack()
@@ -372,6 +379,11 @@ SHARED_CLASSES: dict[str, str] = {
         "spawns the morsel worker threads (proteus-worker-N); run() is the "
         "thread entry point of the parallel tier"
     ),
+    "AdmissionController": (
+        "the admission gate is shared by every client thread entering "
+        "engine._execute; it synchronizes on a threading.Condition, which "
+        "the lint does not recognize as a lock factory"
+    ),
 }
 
 #: ``"Class.attr" -> "lock attribute"``: the attribute is mutated only while
@@ -427,6 +439,12 @@ GUARDED_BY: dict[str, str] = {
     "SpanAccumulator.bytes_processed": "_lock",
     "SpanAccumulator.invocations": "_lock",
     "SpanAccumulator._batch_buckets": "_lock",
+    # resilience subsystem (context shared by every tier + pool workers)
+    "QueryContext._progress": "_lock",
+    "QueryContext._io_retries": "_lock",
+    "FaultInjector._calls": "_lock",
+    "FaultInjector._fired": "_lock",
+    "FaultInjector._injected": "_lock",
     # this module's own graph
     "LockOrderGraph._edges": "_lock",
     "LockOrderGraph._cycles": "_lock",
@@ -481,6 +499,10 @@ BENIGN_RACES: dict[str, str] = {
         "written by run() on the coordinating thread before workers start and "
         "after they join; never concurrent with the workers it profiles"
     ),
+    "InputPlugin.fault_injector": (
+        "installed (one atomic rebind) by the chaos harness before queries "
+        "run against the plugin; query threads only read the reference"
+    ),
 }
 
 #: ``"Class.attr" -> why``: mutable state whose every mutation path runs
@@ -506,5 +528,17 @@ EXTERNALLY_GUARDED: dict[str, str] = {
     ),
     "CacheEntry.hits": (
         "touch() is called only by CacheManager mutators under its _lock"
+    ),
+    "AdmissionController._active": (
+        "mutated only while holding self._condition (a threading.Condition)"
+    ),
+    "AdmissionController._reserved_bytes": (
+        "mutated only while holding self._condition (a threading.Condition)"
+    ),
+    "AdmissionController._admitted_total": (
+        "mutated only while holding self._condition (a threading.Condition)"
+    ),
+    "AdmissionController._rejected_total": (
+        "mutated only while holding self._condition (a threading.Condition)"
     ),
 }

@@ -104,6 +104,7 @@ from repro.core.optimizer.statistics import StatisticsManager
 from repro.core.physical import (
     PhysNest,
     PhysReduce,
+    PhysScan,
     PhysSort,
     PhysUnnest,
     PhysicalPlan,
@@ -117,12 +118,19 @@ from repro.errors import (
     ExecutionError,
     PlanningError,
     ProteusError,
+    ResilienceError,
     VectorizationError,
 )
 from repro.obs.explain import render_explain_analyze
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import DEFAULT_TRACE_CAPACITY, TraceBuilder, Tracer
 from repro.plugins.base import InputPlugin
+from repro.resilience import (
+    AdmissionController,
+    CancellationToken,
+    QueryContext,
+    activate_context,
+)
 from repro.plugins.binary_col_plugin import BinaryColumnPlugin
 from repro.plugins.binary_row_plugin import BinaryRowPlugin
 from repro.plugins.cache_plugin import CachePlugin
@@ -423,13 +431,20 @@ class PreparedQuery:
             hints=schema.hints,
         )
 
-    def execute(self, *args, **named) -> ResultSet:
+    def execute(
+        self, *args, timeout: float | None = None, cancel=None, **named
+    ) -> ResultSet:
         """Bind parameter values and execute.
 
         Positional values fill ``?`` placeholders in order; keyword values
         fill ``:name`` placeholders.  Every declared parameter must receive
-        exactly one value."""
-        return self._engine._execute_prepared(self, self._bind(args, named))
+        exactly one value.  ``timeout`` (seconds) overrides the engine's
+        default deadline for this call; ``cancel`` attaches a
+        :class:`~repro.resilience.CancellationToken` that another thread may
+        trip to abort the query cooperatively."""
+        return self._engine._execute_prepared(
+            self, self._bind(args, named), timeout=timeout, cancel=cancel
+        )
 
     def executemany(self, parameter_sets) -> list[ResultSet]:
         """Execute once per entry of ``parameter_sets``.
@@ -510,6 +525,12 @@ class ProteusEngine:
         enable_metrics: bool = True,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         slow_query_seconds: float | None = 1.0,
+        query_timeout_seconds: float | None = None,
+        max_concurrent_queries: int | None = None,
+        admission_queue_seconds: float = 5.0,
+        query_memory_budget_bytes: int | None = None,
+        io_retry_budget: int = 16,
+        volcano_check_stride: int = 1024,
     ):
         self.memory = MemoryManager(cache_budget_bytes=cache_budget_bytes)
         self.catalog = Catalog()
@@ -535,7 +556,7 @@ class ProteusEngine:
             DataFormat.BINARY_COLUMN: BinaryColumnPlugin(self.memory),
         }
         self.cache_plugin: CachePlugin | None = (
-            CachePlugin(self.memory, self.cache_manager)
+            CachePlugin(self.memory, self.cache_manager, source_plugins=self.plugins)
             if self.cache_manager is not None
             else None
         )
@@ -584,6 +605,25 @@ class ProteusEngine:
         #: Executions at or above this wall-clock duration land in the
         #: metrics registry's slow-query log; ``None`` disables the log.
         self.slow_query_seconds = slow_query_seconds
+        #: Engine-wide default deadline; a per-call ``timeout=`` overrides it.
+        #: ``None`` leaves queries unbounded.
+        self.query_timeout_seconds = query_timeout_seconds
+        #: Transient-I/O retries one query may spend across all its scans
+        #: before a :class:`~repro.errors.ScanIOError` surfaces.
+        self.io_retry_budget = io_retry_budget
+        #: Tuples between deadline/cancellation checks on the Volcano tier
+        #: (the batch tiers check per batch / per morsel instead).
+        self.volcano_check_stride = volcano_check_stride
+        #: Admission controller — built only when a concurrency or memory
+        #: bound is configured, so unconfigured engines skip admission
+        #: entirely (no lock acquisition on the query path).
+        self.admission: AdmissionController | None = None
+        if max_concurrent_queries is not None or query_memory_budget_bytes is not None:
+            self.admission = AdmissionController(
+                max_concurrent=max_concurrent_queries,
+                memory_budget_bytes=query_memory_budget_bytes,
+                queue_timeout_seconds=admission_queue_seconds,
+            )
         self._register_callback_gauges()
 
     def _register_callback_gauges(self) -> None:
@@ -766,9 +806,15 @@ class ProteusEngine:
         re-generating code; on a repeated shape the whole frontend cost —
         parse, bind, normalize, translate, plan, codegen — is paid once.
         """
-        comprehension = self._to_comprehension(text)
-        logical = translate(comprehension)
-        physical = self._plan_logical(logical, comprehension=comprehension)
+        try:
+            comprehension = self._to_comprehension(text)
+            logical = translate(comprehension)
+            physical = self._plan_logical(logical, comprehension=comprehension)
+        except ProteusError as exc:
+            # Prepare-time failures (parse, bind, TYP analysis, planning)
+            # count as failed queries too — same counter, keyed by code.
+            self._count_query_failure(exc)
+            raise
         self.last_plan = physical
         return PreparedQuery(
             self,
@@ -780,14 +826,29 @@ class ProteusEngine:
             self._catalog_epoch,
         )
 
-    def query(self, text: str | Comprehension, *args, **params) -> ResultSet:
+    def query(
+        self,
+        text: str | Comprehension,
+        *args,
+        timeout: float | None = None,
+        cancel: CancellationToken | None = None,
+        **params,
+    ) -> ResultSet:
         """Execute a query: sugar for ``prepare(text).execute(*args, **params)``.
 
         Prepared queries are cached per query text, so repeated ``query()``
         calls with the same text (and varying parameter values) reuse one
         plan and one compiled program.
+
+        ``timeout`` overrides the engine's ``query_timeout_seconds`` for this
+        call; ``cancel`` attaches a :class:`~repro.resilience.CancellationToken`
+        another thread may trip.  (A named query parameter literally called
+        ``:timeout`` or ``:cancel`` must be bound through
+        ``prepare(...).executemany([{...}])`` instead.)
         """
-        return self._prepare_cached(text).execute(*args, **params)
+        return self._prepare_cached(text).execute(
+            *args, timeout=timeout, cancel=cancel, **params
+        )
 
     def sql(self, text: str, *args, **params) -> ResultSet:
         """Execute a SQL statement."""
@@ -1003,23 +1064,99 @@ class ProteusEngine:
         return physical
 
     def _execute_prepared(
-        self, prepared: PreparedQuery, params: dict
+        self,
+        prepared: PreparedQuery,
+        params: dict,
+        timeout: float | None = None,
+        cancel: CancellationToken | None = None,
     ) -> ResultSet:
         plan = prepared._current_plan(params)
         self.last_plan = plan
         query_text = (
             prepared._source if isinstance(prepared._source, str) else None
         )
-        return self._execute(plan, params or None, query_text=query_text)
+        return self._execute(
+            plan, params or None, query_text=query_text,
+            timeout=timeout, cancel=cancel,
+        )
 
     def _execute(
         self,
         physical: PhysicalPlan,
         params: ParamValues | None = None,
         query_text: str | None = None,
+        timeout: float | None = None,
+        cancel: CancellationToken | None = None,
     ) -> ResultSet:
         started = time.perf_counter()
+        # One QueryContext per execution, always — unconfigured engines get a
+        # passive context (no deadline, no token) whose checks are a couple of
+        # attribute loads, so the resilience plumbing has one code path.
+        effective_timeout = (
+            self.query_timeout_seconds if timeout is None else timeout
+        )
+        context = QueryContext(
+            timeout_seconds=effective_timeout,
+            token=cancel,
+            retry_budget=self.io_retry_budget,
+            volcano_stride=self.volcano_check_stride,
+        )
+        slot = None
+        if self.admission is not None:
+            try:
+                slot = self.admission.admit(
+                    self._estimate_query_bytes(physical), query_text=query_text
+                )
+            except ResilienceError as exc:
+                self._record_query_failure(
+                    query_text, exc, time.perf_counter() - started, None
+                )
+                raise
         trace = self.tracer.begin(query_text or "<plan>", physical)
+        try:
+            # The context is published thread-locally so code that cannot
+            # take a parameter (plug-in I/O deep inside a generated program)
+            # still finds the retry budget and deadline; the worker pool
+            # re-publishes it on its own threads.
+            with activate_context(context):
+                return self._execute_with_context(
+                    physical, params, query_text, started, context, trace
+                )
+        except ProteusError as exc:
+            # Any failure mid-execution — deadline, cancellation, exhausted
+            # retries, or an ordinary execution error — lands here after the
+            # executors unwound (pool drained, no worker leaked).  Record an
+            # abort profile carrying the partial-progress counters so callers
+            # and the trace see how far the query got.
+            elapsed = time.perf_counter() - started
+            code = _failure_code(exc)
+            profile = ExecutionProfile(
+                used_generated_code=False, execution_tier="aborted"
+            )
+            profile.aborted = code
+            profile.io_retries = context.io_retries
+            profile.partial_progress = context.progress_snapshot()
+            self.last_profile = profile
+            finished_trace = (
+                self.tracer.finish(trace, profile, elapsed, aborted=code)
+                if trace is not None
+                else None
+            )
+            self._record_query_failure(query_text, exc, elapsed, finished_trace)
+            raise
+        finally:
+            if slot is not None:
+                slot.release()
+
+    def _execute_with_context(
+        self,
+        physical: PhysicalPlan,
+        params: ParamValues | None,
+        query_text: str | None,
+        started: float,
+        context: QueryContext,
+        trace: TraceBuilder | None,
+    ) -> ResultSet:
         # Resolve a parameterized LIMIT up front: literal and bound values go
         # through the same validation (negative limits are rejected in both).
         sort_plan = physical if isinstance(physical, PhysSort) else None
@@ -1050,14 +1187,16 @@ class ProteusEngine:
                 break
             try:
                 if verdict.tier == "codegen":
-                    executed = self._execute_generated(physical, params, trace)
+                    executed = self._execute_generated(
+                        physical, params, trace, context
+                    )
                 elif verdict.tier == "vectorized-parallel":
                     executed = self._execute_parallel(
-                        physical, params, analysis.hints, trace
+                        physical, params, analysis.hints, trace, context
                     )
                 else:
                     executed = self._execute_vectorized(
-                        physical, params, analysis.hints, trace
+                        physical, params, analysis.hints, trace, context
                     )
                 break
             except (CodegenError, VectorizationError) as exc:
@@ -1069,11 +1208,12 @@ class ProteusEngine:
                     f"[{TIER_RUNTIME_DEMOTION}] runtime demotion: {exc}"
                 )
         if executed is None:
-            executed = self._execute_volcano(physical, params, trace)
+            executed = self._execute_volcano(physical, params, trace, context)
         execute_seconds = time.perf_counter() - execute_started
         names, columns, profile = executed
         profile.predicted_tier = predicted_tier
         profile.tier_decline_reasons = decline_reasons
+        profile.io_retries = context.io_retries
         if trace is not None:
             trace.add_phase("execute", execute_seconds)
             if profile.execution_tier != "codegen":
@@ -1175,6 +1315,11 @@ class ProteusEngine:
                 "proteus_codegen_compilations_total",
                 "Generated-program executions, by program-cache outcome.",
             ).inc(outcome="cache-hit" if profile.compiled_from_cache else "fresh")
+        if profile.io_retries:
+            metrics.counter(
+                "proteus_io_retries_total",
+                "Transient raw-data I/O failures recovered by retrying.",
+            ).inc(profile.io_retries)
         if profile.parallel_workers > 1:
             metrics.counter(
                 "proteus_morsels_dispatched_total",
@@ -1196,11 +1341,73 @@ class ProteusEngine:
                 entry["trace"] = trace.to_dict()
             metrics.record_slow_query(entry)
 
+    def _count_query_failure(self, exc: BaseException) -> None:
+        if not self.metrics.enabled:
+            return
+        self.metrics.counter(
+            "proteus_queries_failed_total",
+            "Failed queries, by error code (TYP/TIER/RES/internal).",
+        ).inc(code=_failure_code(exc))
+
+    def _record_query_failure(
+        self,
+        query_text: str | None,
+        exc: BaseException,
+        elapsed: float,
+        trace,
+    ) -> None:
+        """Metrics for a failed execution: the failure counter keyed by error
+        code, the shared latency histogram (failed queries spent wall-clock
+        too — a query that burned its whole deadline must show up in the
+        tail) and the slow-query log."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        self._count_query_failure(exc)
+        metrics.histogram(
+            "proteus_query_seconds", "End-to-end query latency."
+        ).observe(elapsed)
+        threshold = self.slow_query_seconds
+        if threshold is not None and elapsed >= threshold:
+            entry: dict[str, Any] = {
+                "query": query_text or "<plan>",
+                "tier": "aborted",
+                "seconds": elapsed,
+                "rows": 0,
+                "error": str(exc),
+            }
+            if trace is not None:
+                entry["trace"] = trace.to_dict()
+            metrics.record_slow_query(entry)
+
+    def _estimate_query_bytes(self, physical: PhysicalPlan) -> int:
+        """Admission-control memory estimate: for each scanned dataset,
+        cardinality × referenced columns × 8 bytes (one float64-sized buffer
+        per column).  Deliberately crude — it only has to rank queries well
+        enough for the byte budget to keep a runaway scan from starving the
+        rest; datasets without collected statistics contribute nothing, so
+        admission degrades to the pure concurrency bound for them."""
+        total = 0
+        for node in physical.walk():
+            if not isinstance(node, PhysScan):
+                continue
+            try:
+                dataset = self.catalog.get(node.dataset)
+            except ProteusError:
+                continue
+            statistics = dataset.statistics
+            if statistics is None:
+                continue
+            columns = max(len(node.paths), 1)
+            total += int(statistics.cardinality) * columns * 8
+        return total
+
     def _execute_generated(
         self,
         physical: PhysicalPlan,
         params: ParamValues | None = None,
         trace: TraceBuilder | None = None,
+        context: QueryContext | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         # A root PhysSort is executed by the engine's columnar sort kernels on
         # the program's output; the program itself covers the child plan, so
@@ -1223,7 +1430,7 @@ class ProteusEngine:
         self.last_generated_source = generated.source
         runtime = QueryRuntime(
             self.catalog, self.plugins, self.cache_manager, params=params,
-            trace=trace,
+            trace=trace, context=context,
         )
         output = generated(runtime)
         names = _output_names(target)
@@ -1238,6 +1445,7 @@ class ProteusEngine:
         params: ParamValues | None = None,
         hints: NullabilityHints | None = None,
         trace: TraceBuilder | None = None,
+        context: QueryContext | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = ParallelVectorizedExecutor(
             self.catalog,
@@ -1248,6 +1456,7 @@ class ProteusEngine:
             params=params,
             hints=hints,
             trace=trace,
+            context=context,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -1267,6 +1476,7 @@ class ProteusEngine:
         params: ParamValues | None = None,
         hints: NullabilityHints | None = None,
         trace: TraceBuilder | None = None,
+        context: QueryContext | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VectorizedExecutor(
             self.catalog,
@@ -1276,6 +1486,7 @@ class ProteusEngine:
             params=params,
             hints=hints,
             trace=trace,
+            context=context,
         )
         names, columns = executor.execute(physical)
         profile = ExecutionProfile(
@@ -1291,9 +1502,11 @@ class ProteusEngine:
         physical: PhysicalPlan,
         params: ParamValues | None = None,
         trace: TraceBuilder | None = None,
+        context: QueryContext | None = None,
     ) -> tuple[list[str], dict[str, Any], ExecutionProfile]:
         executor = VolcanoExecutor(
-            self.catalog, self.plugins, params=params, trace=trace
+            self.catalog, self.plugins, params=params, trace=trace,
+            context=context,
         )
         # The engine's sort kernels run on the materialized output; the
         # interpreter never sees the PhysSort root.
@@ -1335,6 +1548,13 @@ class ProteusEngine:
 # ---------------------------------------------------------------------------
 # Result assembly helpers
 # ---------------------------------------------------------------------------
+
+
+def _failure_code(exc: BaseException) -> str:
+    """The coded family of a failure (``TYP...``/``TIER...``/``RES...``);
+    uncoded exceptions are grouped under ``internal``."""
+    code = getattr(exc, "code", None)
+    return code if isinstance(code, str) and code else "internal"
 
 
 def _copy_pipeline_counters(profile: ExecutionProfile, counters) -> None:

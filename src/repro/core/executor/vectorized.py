@@ -353,6 +353,7 @@ class ScanOperator:
         plugin: InputPlugin,
         cache_manager=None,
         params: Mapping[int | str, object] | None = None,
+        context=None,
     ):
         self.plan = plan
         self.binding = plan.binding
@@ -360,6 +361,8 @@ class ScanOperator:
         self.plugin = plugin
         self.cache_manager = cache_manager
         self.params = params
+        #: Per-query resilience context; checked once per produced batch.
+        self.context = context
         self.paths = [tuple(path) for path in plan.paths]
         self._cached: dict[FieldPath, np.ndarray] = {}
         if cache_manager is not None and plugin.format_name != "cache":
@@ -413,6 +416,8 @@ class ScanOperator:
         ):
             batch = self._to_batch(buffers, counters)
             if batch is not None:
+                if self.context is not None:
+                    self.context.note_batch(batch.count)
                 yield batch
 
     def iter_range(
@@ -429,6 +434,8 @@ class ScanOperator:
         ):
             batch = self._to_batch(buffers, counters)
             if batch is not None:
+                if self.context is not None:
+                    self.context.note_batch(batch.count)
                 yield batch
 
     def _metered(self, stream):
@@ -463,6 +470,8 @@ class ScanOperator:
                 batch.columns[(self.binding, path)] = full[begin:end]
             counters.values_from_cache += (end - begin) * len(self._cached)
             counters.batches_processed += 1
+            if self.context is not None:
+                self.context.note_batch(batch.count)
             yield batch
 
     def _to_batch(self, buffers, counters: PipelineCounters) -> Batch | None:
@@ -719,8 +728,13 @@ class CompiledPipeline:
     source: ScanOperator
     stages: list
     always_empty: bool = False
+    #: Per-query resilience context, checked once per processed batch so a
+    #: deadline/cancellation interrupts between stages of the pipeline.
+    context: "object | None" = None
 
     def process(self, batch: Batch, counters: PipelineCounters) -> Batch | None:
+        if self.context is not None:
+            self.context.check()
         for stage in self.stages:
             batch = stage.apply(batch, counters)
             if batch is None:
@@ -763,6 +777,7 @@ class PipelineCompiler:
         table_builder: Callable[[np.ndarray], radix.RadixTable] | None = None,
         params: Mapping[int | str, object] | None = None,
         trace: TraceBuilder | None = None,
+        context=None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -773,6 +788,9 @@ class PipelineCompiler:
         self.table_builder = table_builder or radix.build_radix_table
         #: Bound query-parameter values, attached to every scan batch.
         self.params = params
+        #: Per-query resilience context, handed to every scan operator and
+        #: compiled pipeline so batch production observes deadline/cancel.
+        self.context = context
         #: Span trace of the current execution; ``None`` (the default) keeps
         #: every compiled stage unwrapped — tracing costs nothing when off.
         self.trace = trace
@@ -784,7 +802,9 @@ class PipelineCompiler:
     def compile(self, plan: PhysicalPlan) -> CompiledPipeline:
         if isinstance(plan, PhysScan):
             return CompiledPipeline(
-                traced_scan(self.trace, plan, self._scan_operator(plan)), []
+                traced_scan(self.trace, plan, self._scan_operator(plan)),
+                [],
+                context=self.context,
             )
         if isinstance(plan, PhysSelect):
             pipeline = self.compile(plan.child)
@@ -866,7 +886,8 @@ class PipelineCompiler:
         if plugin is None:
             raise ExecutionError(f"no plug-in registered for format {dataset.format!r}")
         operator = ScanOperator(
-            plan, dataset, plugin, self.cache_manager, params=self.params
+            plan, dataset, plugin, self.cache_manager, params=self.params,
+            context=self.context,
         )
         self.scan_operators.append(operator)
         return operator
@@ -977,12 +998,16 @@ class VectorizedExecutor:
         params: Mapping[int | str, object] | None = None,
         hints: NullabilityHints | None = None,
         trace: TraceBuilder | None = None,
+        context=None,
     ):
         self.catalog = catalog
         self.plugins = plugins
         self.batch_size = max(int(batch_size), 1)
         self.cache_manager = cache_manager
         self.params = params
+        #: Per-query resilience context (deadline/cancel), threaded into the
+        #: pipeline compiler so every batch observes it.
+        self.context = context
         #: Static nullability hints from the plan analyzer: output columns /
         #: aggregate arguments proven non-nullable skip missing-mask work.
         self.hints = hints if hints is not None else EMPTY_HINTS
@@ -1025,6 +1050,7 @@ class VectorizedExecutor:
             counters=self.counters,
             params=self.params,
             trace=self.trace,
+            context=self.context,
         )
         return compiler, compiler.compile(child)
 

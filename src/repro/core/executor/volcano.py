@@ -60,9 +60,15 @@ class VolcanoExecutor:
         plugins: Mapping[str, InputPlugin],
         params: Mapping[int | str, object] | None = None,
         trace: TraceBuilder | None = None,
+        context=None,
     ):
         self.catalog = catalog
         self.plugins = plugins
+        #: Per-query resilience context, checked every ``volcano_stride``
+        #: scanned tuples (the tuple-at-a-time analogue of per-batch checks).
+        self.context = context
+        self._stride = context.volcano_stride if context is not None else 0
+        self._ticks = 0
         #: Bound query-parameter values; placed into every scan environment
         #: under :data:`PARAMS_BINDING` so ``Parameter`` nodes evaluate.
         self.params = params
@@ -169,12 +175,25 @@ class VolcanoExecutor:
             for record in plugin.iterate_rows(dataset, None):
                 self.tuples_processed += 1
                 self.rows_scanned += 1
+                self._tick()
                 yield {plan.binding: record, PARAMS_BINDING: self.params}
         else:
             for record in plugin.iterate_rows(dataset, None):
                 self.tuples_processed += 1
                 self.rows_scanned += 1
+                self._tick()
                 yield {plan.binding: record}
+
+    def _tick(self) -> None:
+        """Deadline/cancel check on a tuple-count stride (cheap per tuple)."""
+        context = self.context
+        if context is None:
+            return
+        self._ticks += 1
+        if self._ticks >= self._stride:
+            self._ticks = 0
+            context.count("volcano_tuples", self._stride)
+            context.check()
 
     def _iterate_unnest(self, plan: PhysUnnest) -> Iterator[dict[str, Any]]:
         for env in self._iterate(plan.child):
@@ -194,6 +213,7 @@ class VolcanoExecutor:
                 # buffers the same way).
                 self.rows_scanned += 1
                 self.unnest_output_rows += 1
+                self._tick()
                 child_env = dict(env)
                 child_env[plan.var] = element
                 if plan.predicate is not None:

@@ -174,6 +174,7 @@ class ParallelVectorizedExecutor:
         params: Mapping[int | str, object] | None = None,
         hints: NullabilityHints | None = None,
         trace: TraceBuilder | None = None,
+        context=None,
     ):
         self.catalog = catalog
         self.plugins = plugins
@@ -182,6 +183,10 @@ class ParallelVectorizedExecutor:
         self.cache_manager = cache_manager
         self.morsel_rows = morsel_rows
         self.params = params
+        #: Per-query resilience context: checked per batch inside pipelines
+        #: and per morsel by the workers; the pool observes its token next to
+        #: the error-cancel event so teardown drains cleanly.
+        self.context = context
         #: Span trace of this execution (``None`` = untraced).  The compiled
         #: pipeline's traced stages are shared by every worker; their span
         #: accumulators are locked, so per-morsel work aggregates into one
@@ -249,6 +254,7 @@ class ParallelVectorizedExecutor:
             table_builder=self._build_table,
             params=self.params,
             trace=self.trace,
+            context=self.context,
         )
         pipeline = compiler.compile(plan.child)
         names, columns = self._run_root(root, pipeline)
@@ -269,6 +275,8 @@ class ParallelVectorizedExecutor:
         morsels = self._plan_scan_morsels(pipeline)
 
         def run_morsel(morsel: Morsel, worker_id: int):
+            if self.context is not None:
+                self.context.check()
             counters = PipelineCounters()
             state = root.new_state()
             for batch in pipeline.source.iter_range(
@@ -281,9 +289,11 @@ class ParallelVectorizedExecutor:
                         # The morsel's contribution is complete (e.g. a pure
                         # LIMIT prefix); stop scanning its remaining rows.
                         break
+            if self.context is not None:
+                self.context.count("morsels")
             return root.finish_morsel(state, counters), counters
 
-        results = self._pool.run(morsels, run_morsel)
+        results = self._pool.run(morsels, run_morsel, context=self.context)
         self.morsels_dispatched += len(morsels)
         self.morsels_stolen += self._pool.last_stolen
         for _, counters in results:
@@ -340,6 +350,8 @@ class ParallelVectorizedExecutor:
             return serial_materialize(pipeline, compiler)
 
         def run_morsel(morsel: Morsel, worker_id: int):
+            if self.context is not None:
+                self.context.check()
             counters = PipelineCounters()
             collected: list[Batch] = []
             for batch in source.iter_range(
@@ -348,9 +360,11 @@ class ParallelVectorizedExecutor:
                 out = pipeline.process(batch, counters)
                 if out is not None:
                     collected.append(out)
+            if self.context is not None:
+                self.context.count("morsels")
             return collected, counters
 
-        results = self._pool.run(morsels, run_morsel)
+        results = self._pool.run(morsels, run_morsel, context=self.context)
         self.morsels_dispatched += len(morsels)
         self.morsels_stolen += self._pool.last_stolen
         for _, counters in results:
@@ -376,6 +390,7 @@ class ParallelVectorizedExecutor:
         partitions = self._pool.run(
             position_lists,
             lambda positions, worker_id: radix.cluster_partition(keys, positions),
+            context=self.context,
         )
         return radix.RadixTable(
             partitions=partitions,

@@ -25,6 +25,7 @@ from collections import deque
 from typing import Any, Callable, Sequence
 
 from repro.core.concurrency import make_lock
+from repro.resilience.context import activate_context
 
 
 class WorkStealingQueue:
@@ -80,7 +81,15 @@ class WorkerPool:
     of the parallel tier); the first exception raised by any worker cancels
     the remaining work and is re-raised on the calling thread, so executor
     fallbacks (:class:`VectorizationError`) propagate exactly as they do on
-    the serial tiers.
+    the serial tiers.  When several workers fail concurrently the first
+    exception is the one raised, with the complete list attached as its
+    ``errors`` attribute so no failure vanishes.
+
+    A :class:`~repro.resilience.context.QueryContext` passed to ``run`` is
+    observed alongside the error-cancel event: workers stop pulling tasks
+    once the deadline/token fires, every thread is still joined, and the
+    coded timeout/cancel error is raised on the calling thread after the
+    pool has drained cleanly.
     """
 
     def __init__(self, num_workers: int):
@@ -89,7 +98,10 @@ class WorkerPool:
         self.last_stolen = 0
 
     def run(
-        self, items: Sequence[Any], task: Callable[[Any, int], Any]
+        self,
+        items: Sequence[Any],
+        task: Callable[[Any, int], Any],
+        context: Any = None,
     ) -> list[Any]:
         items = list(items)
         self.last_stolen = 0
@@ -97,24 +109,34 @@ class WorkerPool:
             return []
         workers = min(self.num_workers, len(items))
         if workers <= 1:
-            return [task(item, 0) for item in items]
+            serial: list[Any] = []
+            for item in items:
+                if context is not None:
+                    context.check()
+                serial.append(task(item, 0))
+            return serial
         queue = WorkStealingQueue(items, workers)
         results: list[Any] = [None] * len(items)
         errors: list[BaseException] = []
         cancel = threading.Event()
 
         def work(worker_id: int) -> None:
-            while not cancel.is_set():
-                entry = queue.next_task(worker_id)
-                if entry is None:
-                    return
-                index, item = entry
-                try:
-                    results[index] = task(item, worker_id)
-                except BaseException as exc:  # noqa: BLE001 - re-raised below
-                    errors.append(exc)
-                    cancel.set()
-                    return
+            # Re-publish the query context on this worker thread so plugin
+            # I/O (retry budget) and nested checks can find it.
+            with activate_context(context):
+                while not cancel.is_set():
+                    if context is not None and context.should_stop():
+                        return
+                    entry = queue.next_task(worker_id)
+                    if entry is None:
+                        return
+                    index, item = entry
+                    try:
+                        results[index] = task(item, worker_id)
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        errors.append(exc)  # list.append is atomic
+                        cancel.set()
+                        return
 
         threads = [
             threading.Thread(
@@ -129,5 +151,13 @@ class WorkerPool:
             thread.join()
         self.last_stolen = queue.stolen
         if errors:
-            raise errors[0]
+            primary = errors[0]
+            # Concurrent failures from other workers must not vanish: attach
+            # the full list (primary included) to the exception we raise.
+            primary.errors = list(errors)  # type: ignore[attr-defined]
+            raise primary
+        if context is not None:
+            # Workers drained early because the deadline/token fired while
+            # no task was raising; surface the coded error here.
+            context.check()
         return results

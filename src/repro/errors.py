@@ -89,3 +89,83 @@ class CacheError(ProteusError):
 
 class UnsupportedFeatureError(ProteusError):
     """Raised for query shapes the reproduction intentionally does not cover."""
+
+
+class ResilienceError(ProteusError):
+    """Base class of the resilience subsystem's coded errors.
+
+    Like :class:`AnalysisError`, each instance carries a machine-readable
+    ``code`` (``RES001`` ...) so the engine's failure metrics and the planned
+    multi-client server can route errors without parsing messages:
+
+    ========  ====================================================
+    RES001    query deadline expired (:class:`QueryTimeoutError`)
+    RES002    query cancelled (:class:`QueryCancelledError`)
+    RES003    admission queue timed out / at capacity
+              (:class:`AdmissionRejectedError`)
+    RES004    memory reservation can never fit the byte budget
+              (:class:`MemoryBudgetError`)
+    RES005    transient scan I/O still failing after the retry
+              budget (:class:`ScanIOError`)
+    RES006    corrupt raw data — parse/decode failure, never
+              retried (:class:`CorruptDataError`)
+    ========  ====================================================
+    """
+
+    code: str = "RES000"
+
+    def __init__(self, message: str, *, dataset: str | None = None):
+        self.dataset = dataset
+        super().__init__(f"[{self.code}] {message}")
+
+
+class QueryTimeoutError(ResilienceError):
+    """Raised cooperatively (per batch / morsel / tuple stride / kernel call)
+    once a query's deadline has expired."""
+
+    code = "RES001"
+
+    def __init__(self, message: str, *, timeout_seconds: float | None = None):
+        self.timeout_seconds = timeout_seconds
+        super().__init__(message)
+
+
+class QueryCancelledError(ResilienceError):
+    """Raised cooperatively once a query's cancellation token is set."""
+
+    code = "RES002"
+
+
+class AdmissionRejectedError(ResilienceError):
+    """Raised when the admission controller cannot grant a slot before the
+    queue timeout (too many concurrent queries or reserved bytes)."""
+
+    code = "RES003"
+
+
+class MemoryBudgetError(ResilienceError):
+    """Raised when a query's estimated memory reservation exceeds the total
+    byte budget — waiting would never help, so it is rejected immediately."""
+
+    code = "RES004"
+
+
+class ScanIOError(ResilienceError):
+    """Raised when a transient raw-data I/O fault (``OSError``, truncated
+    file) persists after exponential-backoff retries exhaust the per-query
+    retry budget."""
+
+    code = "RES005"
+
+    def __init__(
+        self, message: str, *, dataset: str | None = None, attempts: int = 0
+    ):
+        self.attempts = attempts
+        super().__init__(message, dataset=dataset)
+
+
+class CorruptDataError(ResilienceError):
+    """Raised when raw input bytes fail to parse (corrupt JSON span, bad
+    binary header).  Corruption is deterministic, so it is never retried."""
+
+    code = "RES006"

@@ -223,6 +223,10 @@ class QueryTrace:
     elapsed_seconds: float
     phases: list[Span] = field(default_factory=list)
     operators: list[Span] = field(default_factory=list)
+    #: ``None`` for completed queries; the resilience diagnostic code
+    #: (``RES001`` timeout, ``RES002`` cancel, ...) when the traced
+    #: execution was aborted — its spans cover only the work done so far.
+    aborted: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -230,6 +234,7 @@ class QueryTrace:
             "tier": self.tier,
             "predicted_tier": self.predicted_tier,
             "elapsed_seconds": self.elapsed_seconds,
+            "aborted": self.aborted,
             "phases": [span.to_dict() for span in self.phases],
             "operators": [span.to_dict() for span in self.operators],
         }
@@ -327,7 +332,10 @@ class TraceBuilder:
     # -- assembly --------------------------------------------------------------
 
     def finish(
-        self, profile: "ExecutionProfile | None", elapsed_seconds: float
+        self,
+        profile: "ExecutionProfile | None",
+        elapsed_seconds: float,
+        aborted: str | None = None,
     ) -> QueryTrace:
         order = {name: index for index, name in enumerate(PHASES)}
         phases = sorted(
@@ -340,6 +348,7 @@ class TraceBuilder:
             elapsed_seconds=elapsed_seconds,
             phases=phases,
             operators=self.operator_spans(),
+            aborted=aborted,
         )
 
 
@@ -395,8 +404,9 @@ class Tracer:
         builder: TraceBuilder,
         profile: "ExecutionProfile | None",
         elapsed_seconds: float,
+        aborted: str | None = None,
     ) -> QueryTrace:
-        trace = builder.finish(profile, elapsed_seconds)
+        trace = builder.finish(profile, elapsed_seconds, aborted=aborted)
         with self._lock:
             self._traces.append(trace)
             if self.active is builder:

@@ -51,6 +51,10 @@ from repro.storage.memory import MemoryManager
 FieldPath = tuple[str, ...]
 
 
+def _noop() -> None:
+    return None
+
+
 @dataclass
 class ScanBuffers:
     """The virtual memory buffers a scan populates for the rest of the plan.
@@ -161,6 +165,10 @@ class InputPlugin(ABC):
         self.scan_bytes = 0
         self.scan_calls = 0
         self._metrics_lock = make_lock("InputPlugin._metrics_lock")
+        #: Deterministic fault harness hook (chaos suite): ``None`` in
+        #: production; when installed, every :meth:`io_guard` /
+        #: :meth:`io_checkpoint` step consults it *beneath* the retry layer.
+        self.fault_injector = None
 
     def record_scan(self, seconds: float, nbytes: int) -> None:
         """Charge one scan stream / kernel call to this plug-in's metrics."""
@@ -168,6 +176,47 @@ class InputPlugin(ABC):
             self.scan_seconds += seconds
             self.scan_bytes += int(nbytes)
             self.scan_calls += 1
+
+    # -- resilient raw I/O ----------------------------------------------------
+
+    def install_fault_injector(self, injector) -> None:
+        """Install (or clear, with ``None``) a chaos-suite fault injector."""
+        self.fault_injector = injector
+
+    def io_guard(self, operation: str, dataset_name: str | None, fn, *args, **kwargs):
+        """Run one raw-I/O step (an mmap + parse, a batch slice) under the
+        resilience retry policy.
+
+        Transient ``OSError``s — real mmap faults or injected ones — are
+        retried with exponential backoff against the active query's retry
+        budget (RES005 once exhausted); ``ValueError`` surfaces immediately
+        as corrupt data (RES006).  Faults injected by the chaos harness fire
+        *inside* the attempt, beneath the retry layer, so an injected
+        one-shot I/O error is recovered exactly like a real one.
+        """
+        from repro.resilience.retry import retry_io
+
+        injector = self.fault_injector
+        call = injector.next_call(operation, dataset_name) if injector is not None else 0
+
+        def attempt():
+            if injector is not None:
+                injector.on_attempt(call, operation, dataset_name)
+            return fn(*args, **kwargs)
+
+        return retry_io(attempt, operation=operation, dataset=dataset_name)
+
+    def io_checkpoint(self, operation: str, dataset_name: str | None) -> None:
+        """A zero-work :meth:`io_guard` step for streaming scan paths.
+
+        The hot scan generators operate on bytes already mapped into memory,
+        so they have no real I/O call to wrap — but the chaos harness still
+        needs a deterministic injection point per produced batch.  Without an
+        installed injector this is one attribute test.
+        """
+        if self.fault_injector is None:
+            return
+        self.io_guard(operation, dataset_name, _noop)
 
     # -- schema and statistics ----------------------------------------------
 
@@ -240,6 +289,7 @@ class InputPlugin(ABC):
         ``benchmarks/bench_unnest.py`` gates the native path >= 5x over this
         fallback.
         """
+        self.io_checkpoint("scan-unnest", dataset.name)
         element_paths = [tuple(path) for path in element_paths]
         repeats = np.zeros(len(parent_oids), dtype=np.int64)
         values: dict[FieldPath, list] = {path: [] for path in element_paths}
@@ -286,10 +336,12 @@ class InputPlugin(ABC):
         for record in self.iterate_rows(dataset, paths):
             pending.append(record)
             if len(pending) >= batch_size:
+                self.io_checkpoint("scan-batch", dataset.name)
                 yield self._shim_batch(pending, paths, start)
                 start += len(pending)
                 pending = []
         if pending:
+            self.io_checkpoint("scan-batch", dataset.name)
             yield self._shim_batch(pending, paths, start)
 
     def scan_row_count(self, dataset: Dataset) -> int | None:

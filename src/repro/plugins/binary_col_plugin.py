@@ -48,7 +48,12 @@ class BinaryColumnPlugin(InputPlugin):
         with self._table_lock:
             table = self._tables.get(dataset.name)
             if table is None:
-                table = read_column_table(dataset.path)
+                # One guarded raw-I/O step: header reads and column mmaps can
+                # fault transiently (retried), a bad header parses into
+                # ValueError (surfaced as corrupt data).
+                table = self.io_guard(
+                    "table-load", dataset.name, read_column_table, dataset.path
+                )
                 self._tables[dataset.name] = table
             return table
 
@@ -78,6 +83,7 @@ class BinaryColumnPlugin(InputPlugin):
 
     def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
         table = self._table(dataset)
+        self.io_checkpoint("scan-columns", dataset.name)
         buffers = ScanBuffers(
             count=table.row_count, oids=np.arange(table.row_count, dtype=np.int64)
         )
@@ -100,6 +106,7 @@ class BinaryColumnPlugin(InputPlugin):
             path: np.asarray(table.column(require_flat_path(path))) for path in paths
         }
         for start in range(0, table.row_count, batch_size):
+            self.io_checkpoint("scan-batch", dataset.name)
             stop = min(start + batch_size, table.row_count)
             buffers = ScanBuffers(
                 count=stop - start, oids=np.arange(start, stop, dtype=np.int64)
@@ -129,6 +136,7 @@ class BinaryColumnPlugin(InputPlugin):
             path: np.asarray(table.column(require_flat_path(path))) for path in paths
         }
         for begin in range(start, stop, batch_size):
+            self.io_checkpoint("scan-range", dataset.name)
             end = min(begin + batch_size, stop)
             buffers = ScanBuffers(
                 count=end - begin, oids=np.arange(begin, end, dtype=np.int64)

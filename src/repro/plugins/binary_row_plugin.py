@@ -49,7 +49,13 @@ class BinaryRowPlugin(InputPlugin):
         with self._table_lock:
             table = self._tables.get(dataset.name)
             if table is None:
-                table = read_row_table(dataset.path)
+                # One guarded raw-I/O step: the header read + record mmap can
+                # fault transiently (retried); a bad header surfaces as
+                # corrupt data.  Batch scans go through the base-class shim,
+                # which has its own per-batch injection checkpoint.
+                table = self.io_guard(
+                    "table-load", dataset.name, read_row_table, dataset.path
+                )
                 self._tables[dataset.name] = table
             return table
 
@@ -79,6 +85,7 @@ class BinaryRowPlugin(InputPlugin):
 
     def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
         table = self._table(dataset)
+        self.io_checkpoint("scan-columns", dataset.name)
         buffers = ScanBuffers(
             count=table.row_count, oids=np.arange(table.row_count, dtype=np.int64)
         )

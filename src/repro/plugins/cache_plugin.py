@@ -32,9 +32,20 @@ class CachePlugin(InputPlugin):
     format_name = "cache"
     field_access_cost = 0.05
 
-    def __init__(self, memory, manager: CacheManager):
+    def __init__(
+        self,
+        memory,
+        manager: CacheManager,
+        source_plugins: dict[str, InputPlugin] | None = None,
+    ):
         super().__init__(memory)
         self.manager = manager
+        #: format -> plug-in map for re-routing a scan back to the source
+        #: dataset.  The planner pins ``access_path="cache"`` at plan time;
+        #: a concurrent invalidation or eviction can remove the entry before
+        #: the scan executes, and without the re-route that window surfaces
+        #: as a spurious ``PluginError`` to the client.
+        self.source_plugins: dict[str, InputPlugin] = source_plugins or {}
 
     # -- availability -----------------------------------------------------------
 
@@ -88,9 +99,14 @@ class CachePlugin(InputPlugin):
         for path in paths:
             entry = self.manager.lookup(field_cache_key(dataset.name, tuple(path)))
             if entry is None:
-                raise PluginError(
-                    f"field {'.'.join(path)!r} of {dataset.name!r} is not cached"
-                )
+                source = self.source_plugins.get(dataset.format)
+                if source is None:
+                    raise PluginError(
+                        f"field {'.'.join(path)!r} of {dataset.name!r} is not cached"
+                    )
+                # Entry vanished after planning (invalidation / eviction race):
+                # serve the whole scan from the raw source instead.
+                return source.scan_columns(dataset, paths)
             columns[tuple(path)] = entry.data
             count = len(entry.data)
         buffers = ScanBuffers(count=count, oids=np.arange(count, dtype=np.int64))
@@ -113,7 +129,12 @@ class CachePlugin(InputPlugin):
     def read_value(self, dataset: Dataset, oid: int, path: FieldPath) -> Any:
         entry = self.manager.lookup(field_cache_key(dataset.name, tuple(path)))
         if entry is None:
-            raise PluginError(f"field {'.'.join(path)!r} of {dataset.name!r} is not cached")
+            source = self.source_plugins.get(dataset.format)
+            if source is None:
+                raise PluginError(
+                    f"field {'.'.join(path)!r} of {dataset.name!r} is not cached"
+                )
+            return source.read_value(dataset, oid, path)
         return _python_value(entry.data[int(oid)])
 
 

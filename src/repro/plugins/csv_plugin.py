@@ -122,14 +122,21 @@ class CsvPlugin(InputPlugin):
             if state is not None:
                 return state
             started = time.perf_counter()
-            mapped = self.memory.map_file(dataset.path)
-            data = bytes(mapped.data) if mapped.mapped else mapped.data
             delimiter = dataset.options.get("delimiter", ",")
             has_header = dataset.options.get("has_header", True)
             stride = dataset.options.get("stride", 5)
-            index = build_csv_index(
-                data, delimiter=delimiter, has_header=has_header, stride=stride
-            )
+
+            def build() -> tuple:
+                # One guarded raw-I/O step: mmap faults retry (RES005 when
+                # exhausted), parse failures surface as corrupt data (RES006).
+                mapped = self.memory.map_file(dataset.path)
+                data = bytes(mapped.data) if mapped.mapped else mapped.data
+                index = build_csv_index(
+                    data, delimiter=delimiter, has_header=has_header, stride=stride
+                )
+                return data, index
+
+            data, index = self.io_guard("index-build", dataset.name, build)
             header = self._read_header(
                 data, dataset, delimiter, has_header, index.field_count
             )
@@ -208,6 +215,7 @@ class CsvPlugin(InputPlugin):
 
     def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
         state = self._state(dataset)
+        self.io_checkpoint("scan-columns", dataset.name)
         num_rows = state.index.num_rows
         buffers = ScanBuffers(count=num_rows, oids=np.arange(num_rows, dtype=np.int64))
         for path in paths:
@@ -226,6 +234,7 @@ class CsvPlugin(InputPlugin):
         num_rows = state.index.num_rows
         paths = [tuple(path) for path in paths]
         for start in range(0, num_rows, batch_size):
+            self.io_checkpoint("scan-batch", dataset.name)
             stop = min(start + batch_size, num_rows)
             buffers = ScanBuffers(
                 count=stop - start, oids=np.arange(start, stop, dtype=np.int64)
@@ -254,6 +263,7 @@ class CsvPlugin(InputPlugin):
         stop = min(stop, state.index.num_rows)
         paths = [tuple(path) for path in paths]
         for begin in range(start, stop, batch_size):
+            self.io_checkpoint("scan-range", dataset.name)
             end = min(begin + batch_size, stop)
             buffers = ScanBuffers(
                 count=end - begin, oids=np.arange(begin, end, dtype=np.int64)
@@ -308,6 +318,7 @@ class CsvPlugin(InputPlugin):
     ) -> ScanBuffers:
         """Selective (lazy) extraction: parse and convert only the given rows."""
         state = self._state(dataset)
+        self.io_checkpoint("scan-columns", dataset.name)
         data = state.data
         index = state.index
         rows = np.asarray(oids, dtype=np.int64)

@@ -85,11 +85,19 @@ class JsonPlugin(InputPlugin):
             if state is not None:
                 return state
             started = time.perf_counter()
-            mapped = self.memory.map_file(dataset.path)
-            data = bytes(mapped.data) if mapped.mapped else mapped.data
-            index = build_json_index(
-                data, max_depth=dataset.options.get("max_depth", 8)
-            )
+
+            def build() -> tuple:
+                # One guarded raw-I/O step: the mmap (where a transient
+                # OSError can surface) plus the structural-index parse
+                # (where corrupt bytes surface as ValueError -> RES006).
+                mapped = self.memory.map_file(dataset.path)
+                data = bytes(mapped.data) if mapped.mapped else mapped.data
+                index = build_json_index(
+                    data, max_depth=dataset.options.get("max_depth", 8)
+                )
+                return data, index
+
+            data, index = self.io_guard("index-build", dataset.name, build)
             state = _JsonState(
                 data=data, index=index, build_seconds=time.perf_counter() - started
             )
@@ -151,6 +159,7 @@ class JsonPlugin(InputPlugin):
 
     def scan_columns(self, dataset: Dataset, paths: Sequence[FieldPath]) -> ScanBuffers:
         state = self._state(dataset)
+        self.io_checkpoint("scan-columns", dataset.name)
         count = state.index.num_objects
         buffers = ScanBuffers(count=count, oids=np.arange(count, dtype=np.int64))
         for path in paths:
@@ -169,6 +178,7 @@ class JsonPlugin(InputPlugin):
         state = self._state(dataset)
         count = state.index.num_objects
         for start in range(0, count, batch_size):
+            self.io_checkpoint("scan-batch", dataset.name)
             stop = min(start + batch_size, count)
             positions = np.arange(start, stop, dtype=np.int64)
             buffers = ScanBuffers(count=stop - start, oids=positions)
@@ -195,6 +205,7 @@ class JsonPlugin(InputPlugin):
         state = self._state(dataset)
         stop = min(stop, state.index.num_objects)
         for begin in range(start, stop, batch_size):
+            self.io_checkpoint("scan-range", dataset.name)
             end = min(begin + batch_size, stop)
             positions = np.arange(begin, end, dtype=np.int64)
             buffers = ScanBuffers(count=end - begin, oids=positions)
@@ -209,6 +220,7 @@ class JsonPlugin(InputPlugin):
     ) -> ScanBuffers:
         """Selective (lazy) extraction: convert fields only for the given objects."""
         state = self._state(dataset)
+        self.io_checkpoint("scan-columns", dataset.name)
         rows = np.asarray(oids, dtype=np.int64)
         buffers = ScanBuffers(count=len(rows), oids=rows)
         for path in paths:
@@ -321,6 +333,7 @@ class JsonPlugin(InputPlugin):
         ``_to_array`` call — no per-parent buffers, no per-element Python
         round-trips through the Table-2 iterator protocol.
         """
+        self.io_checkpoint("scan-unnest", dataset.name)
         state = self._state(dataset)
         data = state.data
         index = state.index

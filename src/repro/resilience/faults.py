@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the chaos suite.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries — "at the Nth
+I/O call, fail like *this*" — installed on a plugin with
+``plugin.install_fault_injector(FaultInjector(plan))``.  The injector fires
+**beneath** the retry layer (:func:`repro.resilience.retry.retry_io` wraps
+the attempt that consults it), so an injected transient ``OSError`` is
+retried exactly like a real one, while persistent truncation exhausts the
+retry budget into RES005 and an injected corrupt span surfaces immediately
+as RES006.
+
+Fault kinds:
+
+==========  ==============================================================
+io-error    one-shot ``OSError`` (default ``times=1``) — recoverable by
+            the retry layer
+truncated   persistent ``OSError`` (use ``times=None``) — exhausts retries
+            into :class:`~repro.errors.ScanIOError`
+corrupt     ``ValueError`` as if the bytes failed to parse — surfaces as
+            :class:`~repro.errors.CorruptDataError`, never retried
+slow        sleeps ``delay_seconds`` before the attempt — drives deadline
+            and cancellation coverage
+==========  ==============================================================
+
+Call numbering is deterministic: each top-level I/O *step* (not each retry
+attempt) takes the next number from a locked counter, and a spec matches
+when its ``at_call`` equals that number (optionally filtered by operation
+name and dataset).  Retries of the same step keep the step's number, so a
+persistent fault keeps firing across attempts while a ``times=1`` fault
+fails once and lets the retry succeed.  :meth:`FaultPlan.seeded` derives a
+reproducible plan from an integer seed for randomized chaos runs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.concurrency import make_lock
+
+FAULT_KINDS = ("io-error", "truncated", "corrupt", "slow")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: fire ``kind`` at I/O call number ``at_call``."""
+
+    kind: str
+    at_call: int
+    #: Attempts to fail at that call; ``None`` = every attempt (persistent).
+    times: int | None = 1
+    #: Optional filters: only fire for this operation / dataset.
+    operation: str | None = None
+    dataset: str | None = None
+    #: Sleep for ``slow`` faults.
+    delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at_call < 1:
+            raise ValueError("at_call is 1-based and must be >= 1")
+
+
+class FaultPlan:
+    """An immutable sequence of :class:`FaultSpec` entries."""
+
+    def __init__(self, specs: Sequence[FaultSpec]):
+        self.specs = tuple(specs)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        faults: int = 3,
+        max_call: int = 8,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """A reproducible random plan: same seed, same faults, always."""
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(faults):
+            kind = rng.choice(list(kinds))
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    at_call=rng.randint(1, max_call),
+                    times=None if kind == "truncated" else 1,
+                    delay_seconds=0.01,
+                )
+            )
+        return cls(specs)
+
+
+class FaultInjector:
+    """Counts a plugin's I/O steps and fires the plan's faults on cue."""
+
+    def __init__(self, plan: FaultPlan, sleep: Callable[[float], None] = time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = make_lock("FaultInjector._lock")
+        self._calls = 0
+        self._fired: dict[tuple[int, int], int] = {}
+        self._injected: list[tuple[int, str]] = []
+
+    def next_call(self, operation: str, dataset: str | None) -> int:
+        """Allocate the step number for one top-level I/O call."""
+        with self._lock:
+            self._calls += 1
+            return self._calls
+
+    def on_attempt(self, call: int, operation: str, dataset: str | None) -> None:
+        """Fire a matching fault for this attempt of step ``call``, if any."""
+        spec = None
+        with self._lock:
+            for index, candidate in enumerate(self.plan.specs):
+                if candidate.at_call != call:
+                    continue
+                if candidate.operation is not None and candidate.operation != operation:
+                    continue
+                if candidate.dataset is not None and candidate.dataset != dataset:
+                    continue
+                fired = self._fired.get((call, index), 0)
+                if candidate.times is not None and fired >= candidate.times:
+                    continue
+                self._fired[(call, index)] = fired + 1
+                self._injected.append((call, candidate.kind))
+                spec = candidate
+                break
+        if spec is None:
+            return
+        if spec.kind == "slow":
+            self._sleep(spec.delay_seconds)
+            return
+        where = f"call {call}, {operation}" + (f" on {dataset!r}" if dataset else "")
+        if spec.kind == "corrupt":
+            raise ValueError(f"injected corrupt data span ({where})")
+        flavour = "truncated read" if spec.kind == "truncated" else "transient I/O error"
+        raise OSError(f"injected {flavour} ({where})")
+
+    @property
+    def injected(self) -> list[tuple[int, str]]:
+        """(call, kind) pairs actually fired, in firing order."""
+        with self._lock:
+            return list(self._injected)
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls

@@ -1,0 +1,53 @@
+"""Rebound deadline/cancellation checks for generated query programs.
+
+A codegen program is a straight-line Python function — there is no batch
+loop the engine controls, so the cooperative check rides the same idiom as
+span recording in :mod:`repro.obs.instrument`: every kernel entry point of
+one :class:`~repro.core.codegen.runtime.QueryRuntime` instance is shadowed
+by a closure that calls :meth:`QueryContext.check` (raising the coded
+RES001/RES002 error) and records a ``codegen_kernel_calls`` progress tick
+before delegating to the original bound method.  Only *active* contexts (a
+deadline or token attached) are instrumented; a default-configured engine
+keeps the plain methods and pays nothing.
+
+Composition with tracing is free: the observability layer rebinds first in
+``QueryRuntime.__init__``, so the check closure wraps the traced kernel and
+both fire per call.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Kernel entry points a generated program calls for each unit of work.
+#: ``record_output`` is intentionally absent: it runs after the final
+#: materialization, when aborting can no longer save any work.
+CHECKED_KERNELS = (
+    "scan",
+    "scan_selected",
+    "unnest",
+    "radix_join",
+    "cross_product",
+    "mask",
+    "radix_group",
+    "group_agg",
+    "scalar_agg",
+)
+
+
+def instrument_runtime_checks(runtime: Any, context: Any) -> None:
+    """Shadow ``runtime``'s kernels with deadline/cancel checking closures."""
+    for name in CHECKED_KERNELS:
+        inner = getattr(runtime, name, None)
+        if inner is None:
+            continue
+        setattr(runtime, name, _checked(inner, context))
+
+
+def _checked(inner: Any, context: Any) -> Any:
+    def checked(*args: Any, **kwargs: Any) -> Any:
+        context.check()
+        context.count("codegen_kernel_calls")
+        return inner(*args, **kwargs)
+
+    return checked

@@ -1,0 +1,278 @@
+"""Chaos suite: deterministic fault injection across plugins and tiers.
+
+Every test scripts faults through :class:`~repro.resilience.FaultInjector`
+(installed beneath the retry layer of the plugin I/O path) and asserts the
+resilience contract: a seeded fault always terminates in either the correct
+result (transients recovered by retry) or a coded ``RES00x`` error — never a
+hang, a leaked worker or a poisoned cache.  The error-path cache-consistency
+coverage (satellite of the resilience PR) lives here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_engine
+from repro.errors import CorruptDataError, ProteusError, ScanIOError
+from repro.resilience import FaultInjector, FaultPlan, FaultSpec
+from repro.storage.catalog import DataFormat
+
+#: dataset name -> the plugin (DataFormat key) serving it.
+DATASET_FORMATS = {
+    "items_csv": DataFormat.CSV,
+    "items_json": DataFormat.JSON,
+    "items_bin": DataFormat.BINARY_COLUMN,
+    "items_rowbin": DataFormat.BINARY_ROW,
+}
+
+#: Engine configurations pinning each tier (mirrors test_resilience.py).
+TIER_CONFIGS = {
+    "codegen": {},
+    "vectorized-parallel": {
+        "enable_codegen": False,
+        "parallel_workers": 2,
+        "vectorized_batch_size": 16,
+    },
+    "vectorized": {"enable_codegen": False},
+    "volcano": {"enable_codegen": False, "enable_vectorized": False},
+}
+
+EXPECTED_FILTERED_SUM = sum(i * 1.5 for i in range(120) if i % 10 > 1)
+EXPECTED_ORDERS_TOTAL = sum(i * 2.5 for i in range(60))
+
+
+def _install(engine, dataset: str, specs) -> FaultInjector:
+    injector = FaultInjector(FaultPlan(specs), sleep=lambda seconds: None)
+    engine.plugins[DATASET_FORMATS[dataset]].install_fault_injector(injector)
+    return injector
+
+
+def _clear(engine) -> None:
+    for plugin in engine.plugins.values():
+        plugin.install_fault_injector(None)
+
+
+# ---------------------------------------------------------------------------
+# Scripted single faults, per plugin
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASET_FORMATS))
+def test_transient_io_fault_recovered_by_retry(paths, dataset):
+    """A one-shot OSError on any plugin's I/O path is absorbed by the retry
+    layer: the query still returns the exact result and the recovery is
+    visible in ``profile.io_retries``."""
+    engine = make_engine(paths, enable_codegen=False, enable_caching=False)
+    injector = _install(
+        engine, dataset, [FaultSpec(kind="io-error", at_call=1)]
+    )
+    result = engine.query(f"select sum(price) from {dataset} where qty > 1")
+    assert result.rows == [(EXPECTED_FILTERED_SUM,)]
+    assert injector.injected == [(1, "io-error")]
+    assert engine.last_profile.io_retries >= 1
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASET_FORMATS))
+def test_persistent_truncation_exhausts_into_res005(paths, dataset):
+    """A fault that keeps failing across attempts exhausts the retry policy
+    into a coded :class:`ScanIOError`; removing the fault restores exact
+    results on the same engine (no poisoned plugin state)."""
+    engine = make_engine(paths, enable_codegen=False, enable_caching=False)
+    _install(
+        engine, dataset, [FaultSpec(kind="truncated", at_call=1, times=None)]
+    )
+    with pytest.raises(ScanIOError) as info:
+        engine.query(f"select sum(price) from {dataset} where qty > 1")
+    assert "[RES005]" in str(info.value)
+    assert engine.last_profile.aborted == "RES005"
+    _clear(engine)
+    result = engine.query(f"select sum(price) from {dataset} where qty > 1")
+    assert result.rows == [(EXPECTED_FILTERED_SUM,)]
+
+
+def test_corrupt_data_surfaces_res006_and_is_never_retried(paths):
+    engine = make_engine(paths, enable_codegen=False, enable_caching=False)
+    injector = _install(
+        engine, "items_csv", [FaultSpec(kind="corrupt", at_call=2)]
+    )
+    with pytest.raises(CorruptDataError) as info:
+        engine.query("select sum(price) from items_csv")
+    assert "[RES006]" in str(info.value)
+    # Corruption is not transient: no retry was charged for it.
+    assert engine.last_profile.io_retries == 0
+    assert injector.injected == [(2, "corrupt")]
+    _clear(engine)
+    assert engine.query("select count(*) from items_csv").rows == [(120,)]
+
+
+def test_retry_budget_exhaustion_is_coded(paths):
+    """With a zero per-query retry budget even a recoverable transient
+    surfaces as RES005 — the budget bounds total stall time per query."""
+    engine = make_engine(
+        paths, enable_codegen=False, enable_caching=False, io_retry_budget=0
+    )
+    _install(engine, "items_csv", [FaultSpec(kind="io-error", at_call=1)])
+    with pytest.raises(ScanIOError) as info:
+        engine.query("select sum(price) from items_csv")
+    assert "retry budget" in str(info.value)
+
+
+# ---------------------------------------------------------------------------
+# Seeded chaos sweeps: every fault terminates in a result or a coded error
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tier", sorted(TIER_CONFIGS))
+@pytest.mark.parametrize("seed", range(4))
+def test_seeded_chaos_terminates_cleanly(paths, tier, seed):
+    """The core chaos property, per tier: under a reproducible random fault
+    plan every query either returns the exact expected result or raises a
+    coded resilience error — and once the faults are lifted the same engine
+    serves exact results again (caches, locks and plugin state intact)."""
+    engine = make_engine(paths, enable_caching=True, **TIER_CONFIGS[tier])
+    for offset, data_format in enumerate(
+        (DataFormat.CSV, DataFormat.JSON, DataFormat.BINARY_COLUMN)
+    ):
+        injector = FaultInjector(
+            FaultPlan.seeded(seed * 16 + offset, faults=3, max_call=6),
+            sleep=lambda seconds: None,
+        )
+        engine.plugins[data_format].install_fault_injector(injector)
+    battery = [
+        ("select sum(price) from items_csv where qty > 1", EXPECTED_FILTERED_SUM),
+        ("select sum(price) from items_json where qty > 1", EXPECTED_FILTERED_SUM),
+        ("select count(*) from items_bin", 120),
+        ("select sum(total) from orders", EXPECTED_ORDERS_TOTAL),
+    ]
+    for text, expected in battery:
+        try:
+            result = engine.query(text)
+        except ProteusError as exc:
+            code = getattr(exc, "code", "")
+            assert isinstance(code, str) and code.startswith("RES"), (
+                f"fault must surface as a coded resilience error, got {exc!r}"
+            )
+        else:
+            assert result.rows == [(expected,)]
+    _clear(engine)
+    for text, expected in battery:
+        assert engine.query(text).rows == [(expected,)]
+    manager = engine.cache_manager
+    if manager is not None:
+        assert manager.used_bytes == sum(
+            entry.size_bytes for entry in manager.entries()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Error-path cache consistency (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_midscan_failure_leaves_caches_consistent(paths):
+    """A query failing mid-scan must not corrupt shared prepare-time state:
+    compiled programs, the prepared cache, the cache manager's byte
+    accounting and the catalog epoch all stay consistent, and every dataset
+    still serves exact results afterwards."""
+    engine = make_engine(paths)
+    warm = engine.query("select sum(price) from items_csv where qty > 1")
+    assert warm.rows == [(EXPECTED_FILTERED_SUM,)]
+    compiled_before = len(engine._compiled)
+    prepared_before = len(engine._prepared_cache)
+    epoch_before = engine._catalog_epoch
+    _install(engine, "items_json", [FaultSpec(kind="corrupt", at_call=1)])
+    with pytest.raises(CorruptDataError):
+        engine.query("select sum(price) from items_json where qty > 1")
+    # Shared state after the failure: byte accounting exact, epoch untouched,
+    # caches only ever grew (a failed execution never evicts or corrupts).
+    manager = engine.cache_manager
+    assert manager is not None
+    assert manager.used_bytes == sum(
+        entry.size_bytes for entry in manager.entries()
+    )
+    assert engine._catalog_epoch == epoch_before
+    assert len(engine._compiled) >= compiled_before
+    assert len(engine._prepared_cache) >= prepared_before
+    _clear(engine)
+    assert engine.query("select sum(price) from items_json where qty > 1").rows == [
+        (EXPECTED_FILTERED_SUM,)
+    ]
+    # The warm shape was not poisoned by the unrelated failure.
+    assert (
+        engine.query("select sum(price) from items_csv where qty > 1").rows
+        == warm.rows
+    )
+
+
+@pytest.mark.parametrize("tier", sorted(TIER_CONFIGS))
+def test_every_tier_recovers_after_fault(paths, tier):
+    """Per tier: fail one query with an injected persistent fault, lift the
+    fault, and assert the same engine instance returns exact results — the
+    abort path released every resource the tier acquired."""
+    engine = make_engine(paths, **TIER_CONFIGS[tier])
+    _install(
+        engine, "items_csv", [FaultSpec(kind="truncated", at_call=1, times=None)]
+    )
+    with pytest.raises(ScanIOError):
+        engine.query("select sum(price) from items_csv where qty > 1")
+    _clear(engine)
+    result = engine.query("select sum(price) from items_csv where qty > 1")
+    assert result.rows == [(EXPECTED_FILTERED_SUM,)]
+    assert engine.last_profile.aborted is None
+
+
+def test_warm_state_scan_still_crosses_the_guarded_layer(tmp_path):
+    """When schema inference at registration pre-builds the plug-in state,
+    the full-materialization scan path (the codegen tier's ``scan_columns``)
+    must still pass through a guarded I/O step — an injector installed
+    *after* registration fires and the retry layer absorbs it."""
+    path = tmp_path / "warm.csv"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("id,qty,price\n")
+        for i in range(120):
+            handle.write(f"{i},{i % 10},{i * 1.5}\n")
+    from repro import ProteusEngine
+
+    engine = ProteusEngine(enable_caching=False)
+    engine.register_csv("warm", str(path))  # inferred schema builds the index
+    injector = FaultInjector(FaultPlan([FaultSpec(kind="io-error", at_call=1)]))
+    engine.plugins[DataFormat.CSV].install_fault_injector(injector)
+    result = engine.query("select sum(price) from warm where qty > 1")
+    assert result.tier == "codegen"
+    assert result.rows == [(EXPECTED_FILTERED_SUM,)]
+    assert injector.injected == [(1, "io-error")]
+    assert engine.last_profile.io_retries >= 1
+
+
+def test_cache_eviction_between_plan_and_scan_falls_back_to_source(paths):
+    """The planner pins ``access_path="cache"`` at plan time; an eviction (or
+    concurrent invalidation) can remove the entry before the scan runs.  The
+    cache plug-in must re-route that scan to the source plug-in instead of
+    surfacing a spurious ``PluginError`` — the race the churn stress test
+    hits nondeterministically, reproduced here deterministically."""
+    engine = make_engine(paths, enable_caching=True)
+    expected = sum(i * 1.5 for i in range(120))
+    # An unfiltered scan: the full price column is materialized and cached.
+    query = "select sum(price) from items_csv"
+    assert engine.query(query).rows == [(expected,)]
+    # A fresh query text (the original text's prepared plan was built while
+    # the caches were cold and still routes to the raw file): the planner
+    # now pins this plan's scan to the cache.
+    prepared = engine.prepare(query.replace("select", "select "))
+    from repro.core.physical import PhysScan
+
+    scans = [
+        node for node in prepared.plan.walk() if isinstance(node, PhysScan)
+    ]
+    assert scans and all(node.access_path == "cache" for node in scans)
+    assert engine.cache_manager is not None
+    # Simulate the race: the compiled-program cache was flushed (catalog
+    # churn does this) and every cached entry vanishes after planning.
+    # Plain eviction does not bump the catalog epoch, so the prepared plan
+    # still routes its scan to the cache plug-in, and the fresh codegen
+    # compiles against it.
+    engine._compiled.clear()
+    for entry in engine.cache_manager.entries():
+        engine.cache_manager.evict(entry.key)
+    assert engine.cache_manager.used_bytes == 0
+    assert prepared.execute().rows == [(expected,)]

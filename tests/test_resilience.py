@@ -1,0 +1,467 @@
+"""Resilience subsystem: deadlines, cancellation, admission control, the
+worker pool's failure semantics and the DebugLock acquire fix.
+
+The fault-injection chaos coverage lives in ``test_chaos.py``; this module
+covers the deterministic behaviours — a zero deadline aborts every tier at
+its first check, cancellation interrupts mid-flight work, admission bounds
+concurrency and memory, failures land in the metrics registry, and no worker
+thread outlives an aborted query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from tests.conftest import make_engine
+from repro.errors import (
+    AdmissionRejectedError,
+    MemoryBudgetError,
+    ProteusError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from repro.resilience import (
+    AdmissionController,
+    CancellationToken,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.storage.catalog import DataFormat
+
+#: Engine configurations that pin each of the four execution tiers.
+TIER_CONFIGS = {
+    "codegen": {},
+    "vectorized-parallel": {
+        "enable_codegen": False,
+        "parallel_workers": 2,
+        "vectorized_batch_size": 16,
+    },
+    "vectorized": {"enable_codegen": False},
+    "volcano": {
+        "enable_codegen": False,
+        "enable_vectorized": False,
+        "volcano_check_stride": 1,
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tier", sorted(TIER_CONFIGS))
+def test_zero_timeout_aborts_every_tier(paths, tier):
+    """``timeout=0`` expires at the first cooperative check of every tier:
+    per kernel call (codegen), per morsel (parallel), per batch (vectorized),
+    per stride (volcano)."""
+    engine = make_engine(paths, enable_caching=False, **TIER_CONFIGS[tier])
+    with pytest.raises(QueryTimeoutError) as info:
+        engine.query("select sum(price) from items_csv where qty > 1", timeout=0)
+    assert "[RES001]" in str(info.value)
+    profile = engine.last_profile
+    assert profile.execution_tier == "aborted"
+    assert profile.aborted == "RES001"
+
+
+def test_engine_default_timeout_applies(paths):
+    engine = make_engine(paths, query_timeout_seconds=0, enable_caching=False)
+    with pytest.raises(QueryTimeoutError):
+        engine.query("select id from items_csv")
+    # A per-call timeout overrides the engine default.
+    result = engine.query("select count(*) from items_csv", timeout=30.0)
+    assert result.rows == [(120,)]
+
+
+def test_timeout_is_not_a_tier_demotion(paths):
+    """A deadline on the codegen tier must surface as RES001 — not be
+    swallowed by the runtime-demotion catch and retried on a lower tier
+    (which would turn a 0s deadline into a successful slow query)."""
+    engine = make_engine(paths, enable_caching=False)
+    with pytest.raises(QueryTimeoutError):
+        engine.query("select sum(price) from items_csv", timeout=0)
+    reasons = engine.last_profile.tier_decline_reasons
+    assert all("runtime demotion" not in reason for reason in reasons.values())
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_parallel_timeout_differential(paths, workers):
+    """The coded abort is identical at every worker count, and so is the
+    successful result — the resilience checks must not perturb the parallel
+    tier's deterministic merge."""
+    engine = make_engine(
+        paths,
+        enable_codegen=False,
+        enable_caching=False,
+        parallel_workers=workers,
+        vectorized_batch_size=16,
+    )
+    with pytest.raises(QueryTimeoutError):
+        engine.query("select sum(price) from items_bin where qty > 1", timeout=0)
+    assert engine.last_profile.aborted == "RES001"
+    result = engine.query("select sum(price) from items_bin where qty > 1")
+    assert result.rows == [
+        (sum(i * 1.5 for i in range(120) if i % 10 > 1),)
+    ]
+
+
+def test_no_leaked_worker_threads_after_abort(paths):
+    engine = make_engine(
+        paths,
+        enable_codegen=False,
+        enable_caching=False,
+        parallel_workers=4,
+        vectorized_batch_size=16,
+    )
+    with pytest.raises(QueryTimeoutError):
+        engine.query("select sum(price) from items_bin", timeout=0)
+    # WorkerPool.run joins every thread before re-raising, so nothing named
+    # proteus-worker-* may survive the abort.
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith("proteus-worker")
+        ]
+        if not leaked:
+            break
+        time.sleep(0.01)
+    assert leaked == []
+
+
+def test_volcano_stride_bounds_check_latency(paths):
+    """The Volcano tier checks every ``volcano_check_stride`` tuples, so an
+    expired deadline is noticed within one stride of scan progress."""
+    engine = make_engine(
+        paths,
+        enable_codegen=False,
+        enable_vectorized=False,
+        enable_caching=False,
+        volcano_check_stride=10,
+    )
+    with pytest.raises(QueryTimeoutError):
+        engine.query("select id from items_csv", timeout=0)
+    assert engine.last_profile.partial_progress.get("volcano_tuples") == 10
+
+
+# ---------------------------------------------------------------------------
+# Cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_precancelled_token_aborts_immediately(paths):
+    engine = make_engine(paths, enable_caching=False)
+    token = CancellationToken()
+    token.cancel()
+    with pytest.raises(QueryCancelledError) as info:
+        engine.query("select id from items_csv", cancel=token)
+    assert "[RES002]" in str(info.value)
+    assert engine.last_profile.aborted == "RES002"
+
+
+def test_cancellation_interrupts_mid_query(paths):
+    """Cancel deterministically *between* batches: a scripted slow fault's
+    sleep hook trips the token, so the very next per-batch check aborts with
+    partial progress already recorded."""
+    token = CancellationToken()
+    injector = FaultInjector(
+        FaultPlan([FaultSpec(kind="slow", at_call=3, delay_seconds=0.0)]),
+        sleep=lambda seconds: token.cancel(),
+    )
+    engine = make_engine(
+        paths, enable_codegen=False, enable_caching=False, vectorized_batch_size=16
+    )
+    engine.plugins[DataFormat.CSV].install_fault_injector(injector)
+    with pytest.raises(QueryCancelledError):
+        engine.query("select sum(price) from items_csv", cancel=token)
+    assert engine.last_profile.aborted == "RES002"
+    assert engine.last_profile.partial_progress.get("batches", 0) >= 1
+    # The token is sticky: re-running with it still aborts; a fresh execution
+    # without it completes.
+    with pytest.raises(QueryCancelledError):
+        engine.query("select sum(price) from items_csv", cancel=token)
+    assert engine.query("select count(*) from items_csv").rows == [(120,)]
+
+
+def test_cancellation_from_another_thread(paths):
+    """The documented client pattern: a second thread trips the token while
+    the query is scanning (persistent slow faults keep the scan busy long
+    enough for the cancel to land mid-flight)."""
+    token = CancellationToken()
+    scanning = threading.Event()
+
+    def slow_sleep(seconds: float) -> None:
+        scanning.set()
+        time.sleep(seconds)
+
+    injector = FaultInjector(
+        FaultPlan(
+            [
+                FaultSpec(kind="slow", at_call=call, times=None, delay_seconds=0.02)
+                for call in range(1, 9)
+            ]
+        ),
+        sleep=slow_sleep,
+    )
+    engine = make_engine(
+        paths, enable_codegen=False, enable_caching=False, vectorized_batch_size=16
+    )
+    engine.plugins[DataFormat.CSV].install_fault_injector(injector)
+
+    def canceller() -> None:
+        scanning.wait(5.0)
+        token.cancel()
+
+    thread = threading.Thread(target=canceller)
+    thread.start()
+    try:
+        with pytest.raises(QueryCancelledError):
+            engine.query("select sum(price) from items_csv", cancel=token)
+    finally:
+        thread.join(5.0)
+    assert engine.last_profile.aborted == "RES002"
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+def test_admission_controller_concurrency_bound():
+    controller = AdmissionController(max_concurrent=1, queue_timeout_seconds=0.05)
+    slot = controller.admit()
+    assert controller.active == 1
+    with pytest.raises(AdmissionRejectedError) as info:
+        controller.admit()
+    assert "[RES003]" in str(info.value)
+    slot.release()
+    slot.release()  # idempotent
+    second = controller.admit()
+    second.release()
+    assert controller.active == 0
+    assert controller.admitted_total == 2
+    assert controller.rejected_total == 1
+
+
+def test_admission_controller_memory_budget():
+    controller = AdmissionController(
+        memory_budget_bytes=1024, queue_timeout_seconds=0.01
+    )
+    # Larger than the whole budget: queueing can never help, reject at once.
+    with pytest.raises(MemoryBudgetError) as info:
+        controller.admit(estimated_bytes=4096)
+    assert "[RES004]" in str(info.value)
+    slot = controller.admit(estimated_bytes=800)
+    assert controller.reserved_bytes == 800
+    # Fits the budget but not the current headroom: queue, then reject.
+    with pytest.raises(AdmissionRejectedError):
+        controller.admit(estimated_bytes=800)
+    slot.release()
+    assert controller.reserved_bytes == 0
+    controller.admit(estimated_bytes=800).release()
+
+
+def test_admission_queueing_admits_when_slot_frees():
+    controller = AdmissionController(max_concurrent=1, queue_timeout_seconds=5.0)
+    slot = controller.admit()
+    admitted = []
+
+    def waiter() -> None:
+        second = controller.admit()
+        admitted.append(second)
+        second.release()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.05)  # let the waiter queue up on the condition
+    slot.release()
+    thread.join(5.0)
+    assert len(admitted) == 1
+    assert controller.rejected_total == 0
+
+
+def test_engine_admission_rejects_when_full(paths):
+    """End-to-end: while one query holds the engine's single admission slot
+    (parked inside a scripted slow fault), a second query is rejected with
+    RES003 — and admission recovers once the first query finishes."""
+    engine = make_engine(
+        paths,
+        max_concurrent_queries=1,
+        admission_queue_seconds=0.05,
+        enable_codegen=False,
+        enable_caching=False,
+    )
+    entered = threading.Event()
+    release = threading.Event()
+
+    def parked_sleep(seconds: float) -> None:
+        entered.set()
+        release.wait(10.0)
+
+    injector = FaultInjector(
+        FaultPlan([FaultSpec(kind="slow", at_call=1, delay_seconds=0.01)]),
+        sleep=parked_sleep,
+    )
+    engine.plugins[DataFormat.CSV].install_fault_injector(injector)
+    failures: list[BaseException] = []
+
+    def holder() -> None:
+        try:
+            engine.query("select sum(price) from items_csv")
+        except BaseException as exc:  # pragma: no cover - surfaced by assert
+            failures.append(exc)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    try:
+        assert entered.wait(10.0)
+        with pytest.raises(AdmissionRejectedError):
+            engine.query("select count(*) from items_csv")
+        assert engine.admission.rejected_total == 1
+    finally:
+        release.set()
+        thread.join(10.0)
+    assert failures == []
+    # The holder's slot was released in the engine's finally: admitted again.
+    assert engine.query("select count(*) from items_csv").rows == [(120,)]
+
+
+# ---------------------------------------------------------------------------
+# Failure metrics (satellite: queries_failed by code, failures in latency)
+# ---------------------------------------------------------------------------
+
+
+def test_failed_queries_counted_by_code(paths):
+    engine = make_engine(paths, enable_caching=False, slow_query_seconds=0.0)
+    with pytest.raises(QueryTimeoutError):
+        engine.query("select id from items_csv", timeout=0)
+    failed = engine.metrics.counter("proteus_queries_failed_total")
+    assert failed.value(code="RES001") == 1.0
+    # Failed queries spent wall-clock too: they land in the latency histogram
+    # and (a query that burned its deadline is slow by definition) the log.
+    histogram = engine.metrics.histogram("proteus_query_seconds")
+    assert histogram.to_dict()["count"] >= 1
+    entries = engine.metrics.slow_queries()
+    assert any(
+        entry.get("tier") == "aborted" and "RES001" in entry.get("error", "")
+        for entry in entries
+    )
+
+
+def test_prepare_failures_are_counted(paths):
+    engine = make_engine(paths, enable_caching=False)
+    with pytest.raises(ProteusError):
+        engine.prepare("select nosuch_column from items_csv")
+    failed = engine.metrics.counter("proteus_queries_failed_total")
+    assert sum(value for _, value in failed.samples()) >= 1.0
+
+
+def test_trace_marks_aborted_queries(paths):
+    engine = make_engine(paths, enable_caching=False, enable_tracing=True)
+    with pytest.raises(QueryTimeoutError):
+        engine.query("select id from items_csv", timeout=0)
+    trace = engine.tracer.last()
+    assert trace is not None
+    assert trace.aborted == "RES001"
+    assert trace.to_dict()["aborted"] == "RES001"
+    engine.query("select count(*) from items_csv")
+    assert engine.tracer.last().aborted is None
+
+
+def test_io_retries_recorded_in_profile_and_metrics(paths):
+    engine = make_engine(paths, enable_codegen=False, enable_caching=False)
+    injector = FaultInjector(
+        FaultPlan([FaultSpec(kind="io-error", at_call=1)]), sleep=lambda s: None
+    )
+    engine.plugins[DataFormat.CSV].install_fault_injector(injector)
+    result = engine.query("select sum(price) from items_csv")
+    assert result.rows == [(sum(i * 1.5 for i in range(120)),)]
+    assert engine.last_profile.io_retries == 1
+    retries = engine.metrics.counter("proteus_io_retries_total")
+    assert retries.value() == 1.0
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool failure semantics (satellite: no swallowed concurrent errors)
+# ---------------------------------------------------------------------------
+
+
+def test_worker_pool_attaches_all_concurrent_failures():
+    from repro.core.parallel.scheduler import WorkerPool
+
+    pool = WorkerPool(4)
+    barrier = threading.Barrier(4, timeout=5.0)
+
+    def failing_task(item: int, worker_id: int) -> None:
+        barrier.wait()  # make all four workers fail concurrently
+        raise ValueError(f"boom-{item}")
+
+    with pytest.raises(ValueError) as info:
+        pool.run(list(range(4)), failing_task)
+    attached = info.value.errors
+    assert len(attached) == 4
+    assert info.value in attached
+    assert {str(exc) for exc in attached} == {f"boom-{i}" for i in range(4)}
+
+
+def test_worker_pool_single_failure_still_plain():
+    from repro.core.parallel.scheduler import WorkerPool
+
+    pool = WorkerPool(2)
+
+    def failing_task(item: int, worker_id: int) -> int:
+        if item == 3:
+            raise ValueError("boom-3")
+        return item
+
+    with pytest.raises(ValueError) as info:
+        pool.run(list(range(8)), failing_task)
+    assert str(info.value) == "boom-3"
+    assert info.value in info.value.errors
+
+
+# ---------------------------------------------------------------------------
+# DebugLock acquire semantics (satellite: failed acquire leaves no trace)
+# ---------------------------------------------------------------------------
+
+
+def test_debug_lock_failed_acquire_leaves_no_trace():
+    from repro.core.concurrency import DebugLock, global_lock_graph
+
+    outer = DebugLock("test_resilience.outer")
+    contended = DebugLock("test_resilience.contended")
+    acquired = threading.Event()
+    release = threading.Event()
+
+    def holder() -> None:
+        contended.acquire()
+        acquired.set()
+        release.wait(10.0)
+        contended.release()
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    try:
+        assert acquired.wait(10.0)
+        with outer:
+            assert contended.acquire(blocking=False) is False
+            assert contended.acquire(timeout=0.01) is False
+        # No held-edge may be recorded for an acquisition that never held
+        # the lock (the old bug recorded outer -> contended here, poisoning
+        # the lock-order graph with edges that never existed).
+        edges = global_lock_graph().edges()
+        assert "test_resilience.contended" not in edges.get(
+            "test_resilience.outer", set()
+        )
+    finally:
+        release.set()
+        thread.join(10.0)
+    # ... and no phantom held-stack entry: a later blocking acquire by this
+    # thread must not be mistaken for re-entry.
+    assert contended.acquire() is True
+    contended.release()
