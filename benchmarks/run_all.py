@@ -42,6 +42,7 @@ GATED_BENCHMARKS = [
     "bench_static_analysis",
     "bench_obs_overhead",
     "bench_resilience_overhead",
+    "bench_concurrent_qps",
 ]
 
 

@@ -400,6 +400,51 @@ def main() -> None:
           f"io_retries={resilient.last_profile.io_retries} "
           f"(also counted in proteus_io_retries_total)")
 
+    print("\n== Serving: the engine as a concurrent HTTP query service ==")
+    # ProteusServer mounts ONE shared engine behind a threaded JSON-over-HTTP
+    # API (stdlib only).  POST /v1/query takes {query, args, params,
+    # timeout_ms, query_id} and returns columns + data + tier + profile;
+    # query texts go through the engine's per-text prepared cache, so every
+    # client sending the same text shares one plan.  Coded engine errors map
+    # onto HTTP statuses (RES003->429, RES001->408, RES002->499, TYP->400 —
+    # table in repro/errors.py), DELETE /v1/query/<id> cancels an in-flight
+    # query from another connection, and GET /metrics serves the Prometheus
+    # scrape with the exact v0.0.4 content type.
+    import urllib.request
+
+    from repro import ProteusServer
+
+    def http_json(url: str, payload: dict | None = None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        with urllib.request.urlopen(
+            urllib.request.Request(url, data=data), timeout=10
+        ) as response:
+            return json.loads(response.read())
+
+    with ProteusServer(shared) as server:   # the engine threads shared above
+        print(f"  listening on {server.url} (ephemeral port, handler "
+              f"thread per connection)")
+        bodies = run_concurrently(
+            lambda i: http_json(
+                server.url + "/v1/query",
+                {"query": "SELECT COUNT(*), SUM(amount) FROM sales "
+                          "WHERE quantity >= :q",
+                 "params": {"q": 3}},
+            ),
+            2,
+        )
+        for body in bodies:
+            print(f"  client got {body['data']} via tier={body['tier']}")
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as r:
+            content_type = r.headers["Content-Type"]
+            http_hits = next(
+                line for line in r.read().decode().splitlines()
+                if line.startswith("proteus_http_requests_total")
+            )
+        print(f"  /metrics ({content_type}):")
+        print(f"    {http_hits}")
+    print("  server stopped; no handler or worker threads survive stop()")
+
 
 if __name__ == "__main__":
     main()

@@ -17,12 +17,14 @@
 
 from repro.core.engine import PreparedQuery, ProteusEngine, QueryResult, ResultSet
 from repro.errors import ProteusError
+from repro.serve import ProteusServer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "PreparedQuery",
     "ProteusEngine",
+    "ProteusServer",
     "QueryResult",
     "ResultSet",
     "ProteusError",

@@ -1,0 +1,104 @@
+"""Cross-query scan coalescing (ROADMAP item 1, the serving layer).
+
+Under concurrent multi-client traffic the worst cache behaviour is the
+*thundering herd*: N clients arrive at a cold dataset at once, every one of
+them finds the field caches empty, and the same file is parsed N times —
+the Nth parse finishing just in time to be thrown away because the first
+already populated the cache.
+
+The :class:`ScanCoalescer` is a keyed in-flight table mounted in front of
+the :class:`~repro.caching.manager.CacheManager`.  Before executing, a query
+whose plan contains a *cold* raw scan asks the coalescer for a lease on the
+dataset:
+
+* the first arrival becomes the **leader** — it receives a
+  :class:`ScanLease`, executes normally (its scan materializes and, via the
+  caching policy, stores the converted columns), and releases the lease in
+  the engine's ``finally``;
+* every other arrival **waits** on the leader's event and then re-probes the
+  cache — if the leader's materialization landed, the waiter executes
+  against warm caches without touching the raw file.
+
+Waiting is cooperative: the waiter re-checks its
+:class:`~repro.resilience.context.QueryContext` every slice, so deadlines
+and cancellation interrupt a coalesced wait exactly like they interrupt a
+scan.  Coalescing is strictly an optimization — a waiter that wakes to a
+still-cold cache (leader failed, or the policy declined to store) simply
+retries for leadership or falls through and scans on its own; correctness
+never depends on the leader succeeding.
+
+Synchronisation: the in-flight table is guarded by ``ScanCoalescer._lock``
+(declared in :mod:`repro.core.concurrency`'s ``GUARDED_BY`` table); waiters
+block on a per-key :class:`threading.Event` *outside* the lock, so the lock
+is only ever held for dictionary operations.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.concurrency import make_lock
+from repro.resilience.context import QueryContext
+
+#: How long a waiter sleeps between cooperative deadline/cancellation checks.
+WAIT_SLICE_SECONDS = 0.02
+
+
+class ScanLease:
+    """Held by the leader of one in-flight cold scan; releasing it (always in
+    a ``finally``, idempotent) wakes every coalesced waiter."""
+
+    __slots__ = ("_coalescer", "key", "_event", "_released")
+
+    def __init__(self, coalescer: "ScanCoalescer", key, event: threading.Event):
+        self._coalescer = coalescer
+        self.key = key
+        self._event = event
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._coalescer._finish(self.key, self._event)
+
+
+class ScanCoalescer:
+    """Keyed in-flight-scan table: one leader per cold dataset, everyone
+    else waits for the leader's materialization and re-probes the cache."""
+
+    def __init__(self) -> None:
+        self._lock = make_lock("ScanCoalescer._lock")
+        self._inflight: dict = {}
+
+    def acquire(self, key, context: QueryContext | None = None) -> ScanLease | None:
+        """Try to lead the in-flight scan of ``key``.
+
+        Returns a :class:`ScanLease` when this caller is the leader (it must
+        ``release()`` the lease after its execution finishes).  Otherwise
+        blocks until the current leader finishes and returns ``None`` — the
+        caller then re-probes the cache (and may call ``acquire`` again if
+        the cache is still cold).
+        """
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is None:
+                event = threading.Event()
+                self._inflight[key] = event
+                return ScanLease(self, key, event)
+        while not event.wait(WAIT_SLICE_SECONDS):
+            if context is not None:
+                context.check()
+        return None
+
+    def _finish(self, key, event: threading.Event) -> None:
+        with self._lock:
+            if self._inflight.get(key) is event:
+                del self._inflight[key]
+        event.set()
+
+    @property
+    def inflight_count(self) -> int:
+        """Live in-flight leader count (scrape-time gauge)."""
+        with self._lock:
+            return len(self._inflight)

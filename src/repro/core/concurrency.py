@@ -384,6 +384,24 @@ SHARED_CLASSES: dict[str, str] = {
         "engine._execute; it synchronizes on a threading.Condition, which "
         "the lint does not recognize as a lock factory"
     ),
+    "ScanCoalescer": (
+        "the keyed in-flight scan table is probed by every query thread "
+        "entering engine._execute over a cold dataset; waiters block on "
+        "per-key Events outside the lock"
+    ),
+    "StatementRegistry": (
+        "server-side prepared-statement handles are created/resolved/closed "
+        "by concurrent HTTP handler threads"
+    ),
+    "ActiveQueryRegistry": (
+        "cancellation tokens are registered by the executing handler thread "
+        "and tripped by a different thread serving DELETE /v1/query/<id>"
+    ),
+    "ProteusServer": (
+        "owns the accept-loop thread (proteus-http-serve) and is started/"
+        "stopped from the owning application thread while handler threads "
+        "read its engine and registries"
+    ),
 }
 
 #: ``"Class.attr" -> "lock attribute"``: the attribute is mutated only while
@@ -402,6 +420,7 @@ GUARDED_BY: dict[str, str] = {
     "PreparedQuery.comprehension": "_lock",
     "PreparedQuery._logical": "_lock",
     # adaptive cache
+    "ScanCoalescer._inflight": "_lock",
     "CacheManager._entries": "_lock",
     "CacheManager._clock": "_lock",
     "CacheManager.stats": "_lock",
@@ -445,6 +464,11 @@ GUARDED_BY: dict[str, str] = {
     "FaultInjector._calls": "_lock",
     "FaultInjector._fired": "_lock",
     "FaultInjector._injected": "_lock",
+    # HTTP serving layer (handles + cancellation shared across handler threads)
+    "StatementRegistry._statements": "_lock",
+    "StatementRegistry._counter": "_lock",
+    "ActiveQueryRegistry._tokens": "_lock",
+    "ProteusServer._thread": "_lock",
     # this module's own graph
     "LockOrderGraph._edges": "_lock",
     "LockOrderGraph._cycles": "_lock",

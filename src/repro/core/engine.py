@@ -72,7 +72,9 @@ from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.caching.coalesce import ScanCoalescer, ScanLease
 from repro.caching.manager import CacheManager
+from repro.caching.matching import field_cache_key
 from repro.caching.policies import CachingPolicy, DefaultCachingPolicy, NoCachingPolicy
 from repro.core import types as t
 from repro.core.types import python_value as _python_value
@@ -562,6 +564,14 @@ class ProteusEngine:
         )
         if self.cache_plugin is not None:
             self.plugins[DataFormat.CACHE] = self.cache_plugin
+        #: Cross-query scan sharing (serving layer): concurrent cold scans of
+        #: the same registered file coalesce on one in-flight materialization
+        #: — one leader parses and populates the field caches, everyone else
+        #: waits and re-probes.  Only meaningful with caching enabled (a
+        #: waiter piggy-backs through the cache the leader populated).
+        self._scan_coalescer: ScanCoalescer | None = (
+            ScanCoalescer() if self.cache_manager is not None else None
+        )
         self.statistics = StatisticsManager(self.catalog)
         self.planner = Planner(
             self.catalog,
@@ -599,6 +609,18 @@ class ProteusEngine:
         #: Always constructed so scrapes never fail; ``enable_metrics=False``
         #: turns per-query recording into one attribute check.
         self.metrics = MetricsRegistry(enabled=enable_metrics)
+        #: Coalesced-scan counter: cold scans that piggy-backed on another
+        #: query's in-flight materialization instead of re-parsing the file.
+        #: ``None`` with metrics disabled (a disabled registry exports nothing).
+        self._scans_coalesced = (
+            self.metrics.counter(
+                "proteus_scans_coalesced_total",
+                "Cold scans served by a concurrent leader's in-flight "
+                "materialization instead of a duplicate parse.",
+            )
+            if self.metrics.enabled
+            else None
+        )
         #: Span tracer; disabled by default (pay-for-what-you-use — every
         #: instrumentation site reduces to an ``is None`` check).
         self.tracer = Tracer(capacity=trace_capacity, enabled=enable_tracing)
@@ -658,6 +680,36 @@ class ProteusEngine:
                 "proteus_cache_used_bytes",
                 lambda: float(manager.used_bytes),
                 "Bytes of arena memory held by cache entries.",
+            )
+        coalescer = self._scan_coalescer
+        if coalescer is not None:
+            self.metrics.gauge_callback(
+                "proteus_scans_inflight",
+                lambda: float(coalescer.inflight_count),
+                "Cold-scan materializations currently led by some query "
+                "(concurrent arrivals coalesce on them).",
+            )
+        admission = self.admission
+        if admission is not None:
+            self.metrics.gauge_callback(
+                "proteus_admission_active",
+                lambda: float(admission.active),
+                "Queries currently holding an admission slot.",
+            )
+            self.metrics.gauge_callback(
+                "proteus_admission_reserved_bytes",
+                lambda: float(admission.reserved_bytes),
+                "Bytes reserved against the admission memory budget.",
+            )
+            self.metrics.gauge_callback(
+                "proteus_admission_admitted_total",
+                lambda: float(admission.admitted_total),
+                "Queries admitted since engine start.",
+            )
+            self.metrics.gauge_callback(
+                "proteus_admission_rejected_total",
+                lambda: float(admission.rejected_total),
+                "Queries rejected by admission control (RES003/RES004).",
             )
         plugins = list(self.plugins.values())
         self.metrics.gauge_callback(
@@ -1113,7 +1165,14 @@ class ProteusEngine:
                 )
                 raise
         trace = self.tracer.begin(query_text or "<plan>", physical)
+        leases: list[ScanLease] = []
         try:
+            # Cross-query scan sharing: lead or join the in-flight cold
+            # scans this plan touches.  Runs after admission (the front
+            # door) and inside the abort handling below, because a
+            # coalesced wait honours the deadline/cancellation checks.
+            if self._scan_coalescer is not None:
+                leases = self._coalesce_cold_scans(physical, context)
             # The context is published thread-locally so code that cannot
             # take a parameter (plug-in I/O deep inside a generated program)
             # still finds the retry budget and deadline; the worker pool
@@ -1137,6 +1196,10 @@ class ProteusEngine:
             profile.io_retries = context.io_retries
             profile.partial_progress = context.progress_snapshot()
             self.last_profile = profile
+            # Callers that cannot consult last_profile without racing other
+            # sessions (the HTTP serving layer) read the abort profile —
+            # and its partial_progress — straight off the exception.
+            exc.profile = profile
             finished_trace = (
                 self.tracer.finish(trace, profile, elapsed, aborted=code)
                 if trace is not None
@@ -1145,8 +1208,67 @@ class ProteusEngine:
             self._record_query_failure(query_text, exc, elapsed, finished_trace)
             raise
         finally:
+            # Leases first: the leader's materializations are already
+            # stored, so waiters waking here go straight to a warm cache.
+            for lease in leases:
+                lease.release()
             if slot is not None:
                 slot.release()
+
+    #: Bounded leader-retry rounds for one coalesced scan: a waiter that
+    #: wakes to a still-cold cache (the leader failed, or the policy declined
+    #: to store) re-bids for leadership this many times before giving up and
+    #: scanning uncoalesced — coalescing is an optimization, never a gate.
+    _MAX_COALESCE_ROUNDS = 8
+
+    def _coalesce_cold_scans(
+        self, physical: PhysicalPlan, context: QueryContext
+    ) -> list[ScanLease]:
+        """Lead or join the in-flight materialization of every *cold* raw
+        scan in ``physical``; returns the leases this query must release
+        (in ``_execute``'s ``finally``) after its execution stored them.
+
+        A scan is coalescable when its dataset's format would actually be
+        cached by the policy (verbose sources — JSON, CSV; binary sources
+        are cheap to re-scan and the default policy never caches them) and
+        at least one of its field columns is missing from the cache.
+        Datasets are acquired in sorted order so two queries covering the
+        same datasets can never deadlock waiting on each other's leases.
+        """
+        manager = self.cache_manager
+        coalescer = self._scan_coalescer
+        leases: list[ScanLease] = []
+        if manager is None or coalescer is None:
+            return leases
+        cold: dict[str, list[tuple]] = {}
+        for node in physical.walk():
+            if not isinstance(node, PhysScan) or node.access_path != "raw":
+                continue
+            if node.dataset in cold or not node.paths:
+                continue
+            try:
+                dataset = self.catalog.get(node.dataset)
+            except ProteusError:
+                continue
+            if not manager.policy.should_cache_field(dataset.format, "float"):
+                continue
+            keys = [field_cache_key(dataset.name, path) for path in node.paths]
+            if any(manager.peek(key) is None for key in keys):
+                cold[dataset.name] = keys
+        for name in sorted(cold):
+            keys = cold[name]
+            for _ in range(self._MAX_COALESCE_ROUNDS):
+                lease = coalescer.acquire(name, context)
+                if lease is not None:
+                    leases.append(lease)
+                    break
+                # A leader just finished: if its materialization warmed our
+                # columns, piggy-back on it and skip the raw parse.
+                if all(manager.peek(key) is not None for key in keys):
+                    if self._scans_coalesced is not None:
+                        self._scans_coalesced.inc(dataset=name)
+                    break
+        return leases
 
     def _execute_with_context(
         self,

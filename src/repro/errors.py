@@ -169,3 +169,82 @@ class CorruptDataError(ResilienceError):
     binary header).  Corruption is deterministic, so it is never retried."""
 
     code = "RES006"
+
+
+# ---------------------------------------------------------------------------
+# HTTP status mapping (the ``repro.serve`` query service)
+# ---------------------------------------------------------------------------
+#
+# The HTTP serving layer never invents error codes: it surfaces the coded
+# errors above verbatim in the response body and only *translates* them to
+# an HTTP status.  The mapping, kept here next to the code tables so the two
+# cannot drift:
+#
+# ========  ======  ====================================================
+# TYP00x    400     prepare-time analysis rejection — the query itself
+#                   is invalid against the registered schemas
+# RES001    408     deadline expired (Request Timeout); the body carries
+#                   the abort profile's ``partial_progress``
+# RES002    499     cancelled via ``DELETE /v1/query/<id>`` (nginx's
+#                   "Client Closed Request" convention)
+# RES003    429     admission queue full / timed out (Too Many Requests
+#                   — the client should back off and retry)
+# RES004    503     the reservation can never fit the memory budget
+# RES005    503     transient scan I/O outlived the retry budget — the
+#                   source may recover, so the request is retryable
+# RES006    500     corrupt raw data; retrying cannot help
+# (other)   400     parse/plan/schema rejections of the request itself
+#           404     unknown dataset (CatalogError)
+#           500     any other engine failure
+# ========  ======  ====================================================
+
+#: Machine-readable error code -> HTTP status (exact-code entries).
+HTTP_STATUS_BY_CODE: dict[str, int] = {
+    "RES001": 408,
+    "RES002": 499,
+    "RES003": 429,
+    "RES004": 503,
+    "RES005": 503,
+    "RES006": 500,
+}
+
+#: Statuses for coded families and uncoded error classes (see table above).
+HTTP_STATUS_DEFAULT: int = 500
+
+
+def error_code(exc: BaseException) -> str:
+    """The machine-readable code carried by ``exc`` (``"internal"`` if none).
+
+    Mirrors the engine's failure-metrics labelling: coded errors
+    (:class:`AnalysisError`, :class:`ResilienceError`) expose ``.code``;
+    everything else is labelled by what it is, not what it says.
+    """
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    return "internal"
+
+
+def http_status_for(exc: BaseException) -> int:
+    """HTTP status the serving layer answers with for ``exc``."""
+    code = getattr(exc, "code", None)
+    if isinstance(code, str):
+        status = HTTP_STATUS_BY_CODE.get(code)
+        if status is not None:
+            return status
+        if code.startswith("TYP"):
+            return 400
+    if isinstance(exc, CatalogError):
+        return 404
+    if isinstance(
+        exc,
+        (
+            ParseError,
+            SchemaError,
+            PlanningError,
+            TranslationError,
+            UnsupportedFeatureError,
+        ),
+    ):
+        return 400
+    return HTTP_STATUS_DEFAULT

@@ -18,6 +18,13 @@ from typing import Any, Callable, Mapping
 
 from repro.core.concurrency import make_lock
 
+#: Exact content type of the Prometheus text exposition format (v0.0.4).
+#: Scrapers reject ``text/html`` or a bare ``text/plain`` without the
+#: version parameter, so anything mounting :meth:`MetricsRegistry.
+#: render_prometheus` over HTTP (``GET /metrics`` in ``repro.serve``) must
+#: answer with this string verbatim.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 #: Latency buckets (seconds) of the default query-duration histogram —
 #: sub-millisecond cache hits up to multi-second cold scans.
 DEFAULT_LATENCY_BUCKETS = (
@@ -297,9 +304,18 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (v0.0.4).
+
+        Wire contract (regression-tested; scrapers are strict about both):
+        the exposition ends with exactly one newline after the last sample
+        line, and an empty registry renders as the empty string rather than
+        a lone blank line.  Serve it with :data:`PROMETHEUS_CONTENT_TYPE`.
+        """
         with self._lock:
             metrics = dict(self._metrics)
         lines: list[str] = []
         for _, metric in sorted(metrics.items()):
             lines.extend(metric.render())
+        if not lines:
+            return ""
         return "\n".join(lines) + "\n"

@@ -1,0 +1,14 @@
+"""HTTP query service over one shared engine (ROADMAP item 1).
+
+The serving layer is deliberately thin: every hard multi-client problem —
+thread-safe prepare/plan caches, admission control, deadlines and
+cancellation, cross-query scan coalescing — lives in the engine, and the
+server only translates HTTP requests onto the engine API and engine error
+codes onto HTTP statuses.  See :mod:`repro.serve.server` for the endpoint
+table and :mod:`repro.serve.protocol` for the wire shapes.
+"""
+
+from repro.serve.registry import ActiveQueryRegistry, StatementRegistry
+from repro.serve.server import ProteusServer
+
+__all__ = ["ActiveQueryRegistry", "ProteusServer", "StatementRegistry"]

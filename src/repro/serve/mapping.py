@@ -1,0 +1,52 @@
+"""Engine-error → HTTP translation for the query service.
+
+The server never invents error codes: engine failures carry their
+machine-readable code (``TYP00x``, ``RES00x``) into the response body
+verbatim, and :func:`repro.errors.http_status_for` — the table kept next to
+the code definitions — picks the status.  Only *protocol*-level failures,
+which never reach the engine, get their own ``SRV`` codes:
+
+========  ======  ==================================================
+SRV001    400     malformed request (bad JSON, missing/mistyped field)
+SRV002    404     unknown endpoint or resource (path, query_id)
+SRV003    404     unknown statement handle
+SRV004    409     duplicate ``query_id`` still executing
+========  ======  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import error_code, http_status_for
+from repro.serve.protocol import profile_summary
+
+
+def engine_error_response(exc: BaseException) -> tuple[int, dict]:
+    """(status, JSON body) for an engine failure.
+
+    Aborted executions (RES001/RES002) carry the abort profile the engine
+    attached to the exception, so a 408 body reports ``partial_progress`` —
+    how far the query got before the deadline.
+    """
+    body: dict[str, Any] = {
+        "error": {
+            "code": error_code(exc),
+            "type": type(exc).__name__,
+            "message": str(exc),
+        }
+    }
+    profile = getattr(exc, "profile", None)
+    if profile is not None:
+        body["profile"] = profile_summary(profile)
+        body["partial_progress"] = dict(
+            getattr(profile, "partial_progress", {}) or {}
+        )
+    return http_status_for(exc), body
+
+
+def protocol_error_response(
+    status: int, code: str, message: str
+) -> tuple[int, dict]:
+    """(status, JSON body) for a protocol-level (SRV) failure."""
+    return status, {"error": {"code": code, "message": message}}

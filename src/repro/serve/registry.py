@@ -1,0 +1,104 @@
+"""Server-side statement handles and in-flight query cancellation.
+
+Two small registries back the stateful endpoints:
+
+* :class:`StatementRegistry` — ``POST /v1/prepare`` stores the
+  :class:`~repro.core.engine.PreparedQuery` and hands the client an opaque
+  ``stmt-N`` handle; ``POST /v1/execute`` resolves it.  A
+  :class:`~repro.core.engine.PreparedQuery` is itself thread-safe (it is the
+  same object the engine's per-text prepared cache shares between sessions),
+  so one handle may be executed by many connections concurrently.
+* :class:`ActiveQueryRegistry` — an execution request carrying a
+  ``query_id`` registers a fresh
+  :class:`~repro.resilience.context.CancellationToken` for its lifetime;
+  ``DELETE /v1/query/<id>`` — served on a *different* connection thread —
+  trips the token and the engine's cooperative checks abort the query with
+  RES002 (HTTP 499).
+
+Both registries follow the repo's lock discipline (``make_lock``, mutations
+declared in :mod:`repro.core.concurrency`'s ``GUARDED_BY`` table).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.concurrency import make_lock
+from repro.resilience.context import CancellationToken
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import PreparedQuery
+
+
+class DuplicateQueryIdError(Exception):
+    """A ``query_id`` is already executing (HTTP 409, SRV004)."""
+
+
+class StatementRegistry:
+    """Handle → :class:`PreparedQuery` map behind ``/v1/prepare``.
+
+    Handles live until explicitly closed (``DELETE /v1/statement/<handle>``)
+    or the server shuts down; the registry itself holds no execution state.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("StatementRegistry._lock")
+        self._statements: dict[str, "PreparedQuery"] = {}
+        self._counter = 0
+
+    def create(self, prepared: "PreparedQuery") -> str:
+        with self._lock:
+            self._counter += 1
+            handle = f"stmt-{self._counter}"
+            self._statements[handle] = prepared
+        return handle
+
+    def get(self, handle: str) -> "PreparedQuery | None":
+        with self._lock:
+            return self._statements.get(handle)
+
+    def close(self, handle: str) -> bool:
+        with self._lock:
+            return self._statements.pop(handle, None) is not None
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._statements)
+
+
+class ActiveQueryRegistry:
+    """``query_id`` → live :class:`CancellationToken` for in-flight requests."""
+
+    def __init__(self) -> None:
+        self._lock = make_lock("ActiveQueryRegistry._lock")
+        self._tokens: dict[str, CancellationToken] = {}
+
+    def register(self, query_id: str) -> CancellationToken:
+        """Install a fresh token for ``query_id`` for one execution."""
+        token = CancellationToken()
+        with self._lock:
+            if query_id in self._tokens:
+                raise DuplicateQueryIdError(
+                    f"query_id {query_id!r} is already executing"
+                )
+            self._tokens[query_id] = token
+        return token
+
+    def cancel(self, query_id: str) -> bool:
+        """Trip the token of an in-flight query; False if unknown/finished."""
+        with self._lock:
+            token = self._tokens.get(query_id)
+        if token is None:
+            return False
+        token.cancel()
+        return True
+
+    def release(self, query_id: str, token: CancellationToken) -> None:
+        """Remove ``query_id`` if it still maps to ``token`` (idempotent)."""
+        with self._lock:
+            if self._tokens.get(query_id) is token:
+                del self._tokens[query_id]
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._tokens)

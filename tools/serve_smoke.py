@@ -1,0 +1,182 @@
+"""Black-box smoke of the HTTP serving layer, driven exactly like CI does.
+
+Boots a :class:`repro.serve.ProteusServer` over a throwaway engine on an
+ephemeral loopback port and drives it with plain ``urllib`` — no test
+framework, no white-box access:
+
+1. ``POST /v1/query`` returns 200 with the expected columnar rows,
+2. an in-flight query (held open by scripted slow faults) is cancelled via
+   ``DELETE /v1/query/<id>``: the cancel returns 200 and the query
+   surfaces as 499 with ``RES002`` in the body,
+3. ``GET /metrics`` returns 200 with the exact Prometheus v0.0.4 content
+   type, a single trailing newline and the serving counters present,
+4. after ``stop()``, no ``proteus-worker-*`` / ``proteus-http-*`` thread
+   survives.
+
+Any deviation exits non-zero, printing what failed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+FAILURES: list[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    print(("ok   " if condition else "FAIL ") + message)
+    if not condition:
+        FAILURES.append(message)
+
+
+def request(url: str, method: str = "GET", payload: dict | None = None):
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def main() -> int:
+    from repro import ProteusEngine, ProteusServer
+    from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+    from repro.resilience import FaultInjector, FaultPlan, FaultSpec
+
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".csv", delete=False
+    ) as handle:
+        handle.write("id,qty,price\n")
+        for i in range(240):
+            handle.write(f"{i},{i % 7},{float(i)}\n")
+        csv_path = handle.name
+
+    engine = ProteusEngine(
+        enable_codegen=False, enable_caching=False, vectorized_batch_size=16
+    )
+    engine.register_csv("items", csv_path)
+
+    server = ProteusServer(engine)
+    server.start()
+    print(f"serving on {server.url}")
+    try:
+        # 1. Plain query.
+        status, _, body = request(
+            server.url + "/v1/query",
+            "POST",
+            {"query": "select count(*) as n, sum(price) as total from items"},
+        )
+        payload = json.loads(body)
+        check(status == 200, f"POST /v1/query -> {status}")
+        check(
+            payload.get("data") == {"n": [240], "total": [28680.0]},
+            f"query rows: {payload.get('data')}",
+        )
+
+        # 2. Cancel an in-flight query from a second connection.  Persistent
+        # slow faults keep the scan busy; the sleep hook tells us when the
+        # query is actually scanning.
+        scanning = threading.Event()
+
+        def slow_sleep(seconds: float) -> None:
+            scanning.set()
+            time.sleep(seconds)
+
+        engine.plugins["csv"].install_fault_injector(
+            FaultInjector(
+                FaultPlan(
+                    [
+                        FaultSpec(
+                            kind="slow",
+                            at_call=call,
+                            times=None,
+                            delay_seconds=0.02,
+                        )
+                        for call in range(1, 33)
+                    ]
+                ),
+                sleep=slow_sleep,
+            )
+        )
+        outcome: dict = {}
+
+        def client() -> None:
+            outcome["response"] = request(
+                server.url + "/v1/query",
+                "POST",
+                {
+                    "query": "select sum(price) as total from items",
+                    "query_id": "smoke-1",
+                },
+            )
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        check(scanning.wait(10.0), "query started scanning")
+        status, _, body = request(
+            server.url + "/v1/query/smoke-1", method="DELETE"
+        )
+        check(status == 200, f"DELETE /v1/query/smoke-1 -> {status}")
+        thread.join()
+        status, _, body = outcome["response"]
+        payload = json.loads(body)
+        check(status == 499, f"cancelled query -> {status}")
+        check(
+            payload.get("error", {}).get("code") == "RES002",
+            f"cancelled body code: {payload.get('error')}",
+        )
+        engine.plugins["csv"].install_fault_injector(None)
+
+        # 3. Metrics scrape: exact wire bytes.
+        status, headers, body = request(server.url + "/metrics")
+        check(status == 200, f"GET /metrics -> {status}")
+        check(
+            headers.get("Content-Type") == PROMETHEUS_CONTENT_TYPE,
+            f"content type: {headers.get('Content-Type')!r}",
+        )
+        check(
+            body.endswith(b"\n") and not body.endswith(b"\n\n"),
+            "exactly one trailing newline",
+        )
+        check(
+            b"proteus_http_requests_total" in body,
+            "serving counters exported",
+        )
+
+        status, _, body = request(server.url + "/healthz")
+        check(status == 200, f"GET /healthz -> {status}")
+    finally:
+        server.stop()
+
+    # 4. Leak check: nothing the server or the engine spawned survives.
+    deadline = time.monotonic() + 5.0
+    prefixes = ("proteus-worker", "proteus-http")
+    while time.monotonic() < deadline:
+        leaked = [
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith(prefixes)
+        ]
+        if not leaked:
+            break
+        time.sleep(0.01)
+    check(not leaked, f"no leaked threads at shutdown (found: {leaked})")
+
+    if FAILURES:
+        print(f"\nsmoke FAILED ({len(FAILURES)} check(s))")
+        return 1
+    print("\nsmoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
